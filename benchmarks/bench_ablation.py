@@ -1,0 +1,6 @@
+"""Regenerate the conservative compression-variant ablation (DESIGN.md §5)."""
+
+
+def test_ablation_compression(run_artifact):
+    result = run_artifact("ablation-compression")
+    assert result.all_trends_hold, result.render()

@@ -1,0 +1,6 @@
+"""Regenerate the reservation-depth continuum sweep."""
+
+
+def test_depth(run_artifact):
+    result = run_artifact("depth")
+    assert result.all_trends_hold, result.render()

@@ -1,0 +1,6 @@
+"""Regenerate the fair-share vs heavy-user study."""
+
+
+def test_fairshare(run_artifact):
+    result = run_artifact("fairshare")
+    assert result.all_trends_hold, result.render()

@@ -1,0 +1,6 @@
+"""Regenerate paper Figure 1: conservative vs EASY, exact estimates."""
+
+
+def test_figure1(run_artifact):
+    result = run_artifact("figure1")
+    assert result.all_trends_hold, result.render()

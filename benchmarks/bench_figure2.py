@@ -1,0 +1,6 @@
+"""Regenerate paper Figure 2: category-wise EASY vs conservative (CTC)."""
+
+
+def test_figure2(run_artifact):
+    result = run_artifact("figure2")
+    assert result.all_trends_hold, result.render()

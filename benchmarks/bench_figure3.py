@@ -1,0 +1,20 @@
+"""Regenerate paper Figure 3: conservative vs EASY, actual user estimates.
+
+Runs at ACCURACY_PARAMS (full workload size): the estimate-accuracy
+effects require a queue deep enough for backfill contention.
+"""
+
+from repro.experiments.config import ACCURACY_PARAMS
+from repro.experiments.registry import run_experiment
+from repro.experiments.runner import clear_cache
+
+
+def test_figure3(benchmark, capsys):
+    clear_cache()
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure3", ACCURACY_PARAMS), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.all_trends_hold, result.render()

@@ -1,0 +1,21 @@
+"""Regenerate paper Figure 4: well vs poorly estimated jobs, CTC.
+
+Runs at ACCURACY_PARAMS (full workload size): the well/poor divergence only
+emerges once the queue is deep enough that backfilling is the dominant way
+jobs start.
+"""
+
+from repro.experiments.config import ACCURACY_PARAMS
+from repro.experiments.registry import run_experiment
+from repro.experiments.runner import clear_cache
+
+
+def test_figure4(benchmark, capsys):
+    clear_cache()
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure4", ACCURACY_PARAMS), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.all_trends_hold, result.render()

@@ -1,0 +1,6 @@
+"""Regenerate the grid multiple-simultaneous-requests study (paper ref. [12])."""
+
+
+def test_grid(run_artifact):
+    result = run_artifact("grid")
+    assert result.all_trends_hold, result.render()

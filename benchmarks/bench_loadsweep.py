@@ -1,0 +1,6 @@
+"""Regenerate the Section 3 load-methodology sweep (normal vs high load)."""
+
+
+def test_loadsweep(run_artifact):
+    result = run_artifact("loadsweep")
+    assert result.all_trends_hold, result.render()

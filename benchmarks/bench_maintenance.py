@@ -1,0 +1,6 @@
+"""Regenerate the maintenance-window (advance reservation) study."""
+
+
+def test_maintenance(run_artifact):
+    result = run_artifact("maintenance")
+    assert result.all_trends_hold, result.render()

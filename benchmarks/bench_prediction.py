@@ -1,0 +1,6 @@
+"""Regenerate the estimate-accuracy / runtime-prediction study."""
+
+
+def test_prediction(run_artifact):
+    result = run_artifact("prediction")
+    assert result.all_trends_hold, result.render()

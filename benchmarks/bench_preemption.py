@@ -1,0 +1,6 @@
+"""Regenerate the selective-suspension study (paper ref. [6])."""
+
+
+def test_preemption(run_artifact):
+    result = run_artifact("preemption")
+    assert result.all_trends_hold, result.render()

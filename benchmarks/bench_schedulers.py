@@ -1,0 +1,6 @@
+"""Regenerate the all-disciplines roundup table."""
+
+
+def test_schedulers_roundup(run_artifact):
+    result = run_artifact("schedulers")
+    assert result.all_trends_hold, result.render()

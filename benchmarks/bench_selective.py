@@ -1,0 +1,6 @@
+"""Regenerate the Section 6 extension: selective backfilling sweep."""
+
+
+def test_selective(run_artifact):
+    result = run_artifact("selective")
+    assert result.all_trends_hold, result.render()

@@ -1,0 +1,6 @@
+"""Regenerate the input-shaking robustness study."""
+
+
+def test_shaking(run_artifact):
+    result = run_artifact("shaking")
+    assert result.all_trends_hold, result.render()

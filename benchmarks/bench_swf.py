@@ -1,0 +1,48 @@
+"""Throughput benchmarks for SWF parsing and writing.
+
+Real archive logs run to hundreds of thousands of jobs; the reader must
+stay I/O-bound.  These benchmarks time round-tripping a generated trace
+through the full 18-field format.
+"""
+
+import io
+
+import pytest
+
+from repro.workload.generators.ctc import CTCGenerator
+from repro.workload.swf import read_swf, write_swf
+
+N_JOBS = 5_000
+
+
+@pytest.fixture(scope="module")
+def swf_text():
+    workload = CTCGenerator().generate(N_JOBS, seed=1)
+    buffer = io.StringIO()
+    write_swf(workload, buffer)
+    return buffer.getvalue()
+
+
+def test_swf_parse_throughput(benchmark, swf_text):
+    def parse():
+        return read_swf(io.StringIO(swf_text))
+
+    workload = benchmark(parse)
+    assert len(workload) == N_JOBS
+
+
+def test_swf_write_throughput(benchmark):
+    workload = CTCGenerator().generate(N_JOBS, seed=1)
+
+    def write():
+        buffer = io.StringIO()
+        write_swf(workload, buffer)
+        return buffer
+
+    buffer = benchmark(write)
+    assert buffer.getvalue().count("\n") >= N_JOBS
+
+
+def test_generator_throughput(benchmark):
+    workload = benchmark(CTCGenerator().generate, 2_000, seed=3)
+    assert len(workload) == 2_000

@@ -1,0 +1,6 @@
+"""Regenerate paper Table 4: worst-case turnaround time, exact estimates."""
+
+
+def test_table4(run_artifact):
+    result = run_artifact("table4")
+    assert result.all_trends_hold, result.render()

@@ -1,0 +1,6 @@
+"""Regenerate paper Table 7: worst-case turnaround, actual user estimates."""
+
+
+def test_table7(run_artifact):
+    result = run_artifact("table7")
+    assert result.all_trends_hold, result.render()

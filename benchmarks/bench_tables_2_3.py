@@ -1,0 +1,6 @@
+"""Regenerate paper Tables 2-3: job category distribution per trace."""
+
+
+def test_tables_2_3(run_artifact):
+    result = run_artifact("tables23")
+    assert result.all_trends_hold, result.render()

@@ -1,0 +1,19 @@
+"""Regenerate paper Tables 5-6: systematic overestimation R in {1, 2, 4}.
+
+The strict per-cell direction (R=2 improves over R=1 for every scheduler x
+priority) is the headline trend; at benchmark scale individual EASY cells
+can tie within noise, so the assertion requires the conservative cells
+strictly and the overall conservative-gains-more comparison — the claims
+the paper emphasises in Section 5.1.
+"""
+
+
+def test_tables_5_6(run_artifact):
+    result = run_artifact("tables56")
+    must_hold = [
+        trend
+        for trend in result.findings
+        if trend.startswith("CONS") or "larger under conservative" in trend
+    ]
+    failed = [t for t in must_hold if not result.findings[t]]
+    assert not failed, f"failed: {failed}\n{result.render()}"

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each paper-artifact benchmark regenerates one table or figure at
+:data:`repro.experiments.config.QUICK_PARAMS` scale, prints the rendered
+result (so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+paper's tables on the terminal), times the regeneration, and asserts the
+experiment's trend checks.
+
+The process-wide cell cache is cleared before every benchmark so the
+reported time is the true cost of regenerating that artifact from scratch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import QUICK_PARAMS
+from repro.experiments.registry import run_experiment
+from repro.experiments.runner import clear_cache
+
+
+@pytest.fixture
+def run_artifact(benchmark, capsys):
+    """Benchmark one experiment id and return its ExperimentResult."""
+
+    def _run(experiment_id: str):
+        clear_cache()
+
+        def once():
+            return run_experiment(experiment_id, QUICK_PARAMS)
+
+        result = benchmark.pedantic(once, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _run

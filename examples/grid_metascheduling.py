@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Grid metascheduling with multiple simultaneous requests.
+
+Four SDSC-like clusters receive one shared arrival stream.  Each job is
+submitted to K sites at once; the first site to start it wins and the
+other replicas are cancelled (the scheme of Subramani et al., HPDC 2002 —
+reference [12] of the reproduced paper).  Watch the mean slowdown fall as
+K grows: every replica samples another queue, so the job effectively
+waits in the shortest one.
+
+Run:  python examples/grid_metascheduling.py
+"""
+
+from repro import SDSCGenerator, EasyScheduler, scale_load
+from repro.analysis.table import Table
+from repro.grid import GridSimulator, GridSite, LeastLoadedDispatch, RandomDispatch
+
+N_SITES = 4
+
+
+def build_sites():
+    return [GridSite(f"site{i}", 128, EasyScheduler()) for i in range(N_SITES)]
+
+
+def main() -> None:
+    # One arrival stream dense enough to keep four 128-proc sites busy.
+    workload = scale_load(SDSCGenerator().generate(3000, seed=11), 0.23)
+    print(f"grid workload: {len(workload)} jobs across {N_SITES} sites\n")
+
+    table = Table(
+        ["dispatch", "K", "mean_slowdown", "worst_tat_hours", "cancelled_replicas"]
+    )
+    configurations = [
+        ("random", RandomDispatch(1, seed=1)),
+        ("least-loaded", LeastLoadedDispatch(1)),
+        ("least-loaded", LeastLoadedDispatch(2)),
+        ("least-loaded", LeastLoadedDispatch(4)),
+    ]
+    for name, dispatch in configurations:
+        result = GridSimulator(workload, build_sites(), dispatch=dispatch).run()
+        table.append(
+            name,
+            dispatch.replication,
+            result.metrics.overall.mean_bounded_slowdown,
+            result.metrics.overall.max_turnaround / 3600.0,
+            sum(site.cancelled_replicas for site in result.sites),
+        )
+    print(table.render(title="Multiple simultaneous requests sweep"))
+    print(
+        "\nK=1 commits each job to one queue (a bad guess hurts);\n"
+        "K=4 lets every job wait in all queues at once and run from the\n"
+        "fastest — at the price of replica management (cancellations)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (pip --no-use-pep517) on environments
+without the `wheel` package.  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

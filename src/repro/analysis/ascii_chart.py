@@ -1,0 +1,114 @@
+"""Text bar charts for rendering the paper's figures in a terminal.
+
+The paper's figures are grouped bar charts (e.g. slowdown per scheduler per
+trace, or percent change per job category).  These renderers keep the
+benchmark harness self-contained: every figure prints both its data table
+and a chart, so "regenerating Figure 2" produces something visually
+comparable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "#"
+
+
+def _scale(value: float, max_abs: float, width: int) -> int:
+    if max_abs == 0:
+        return 0
+    return max(round(abs(value) / max_abs * width), 1 if value != 0 else 0)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of label -> value.
+
+    Negative values draw to the left of a central axis (used by the
+    percent-change charts of Figure 2).
+    """
+    if not data:
+        raise ReproError("bar_chart of empty data")
+    if width < 4:
+        raise ReproError(f"chart width must be >= 4, got {width}")
+    finite = [v for v in data.values() if math.isfinite(v)]
+    if not finite:
+        raise ReproError("bar_chart needs at least one finite value")
+    max_abs = max(abs(v) for v in finite)
+    has_negative = any(v < 0 for v in finite)
+    label_width = max(len(str(k)) for k in data)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in data.items():
+        if not math.isfinite(value):
+            lines.append(f"{str(label).ljust(label_width)} | (no data)")
+            continue
+        if has_negative:
+            half = width // 2
+            bar_len = _scale(value, max_abs, half)
+            if value < 0:
+                bar = " " * (half - bar_len) + _FULL * bar_len + "|" + " " * half
+            else:
+                bar = " " * half + "|" + _FULL * bar_len
+        else:
+            bar = _FULL * _scale(value, max_abs, width)
+        lines.append(f"{str(label).ljust(label_width)} {bar} {value:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    data: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Chart of group -> {series -> value} with one block per group."""
+    if not data:
+        raise ReproError("grouped_bar_chart of empty data")
+    all_values = [
+        v
+        for series in data.values()
+        for v in series.values()
+        if math.isfinite(v)
+    ]
+    if not all_values:
+        raise ReproError("grouped_bar_chart needs at least one finite value")
+    max_abs = max(abs(v) for v in all_values)
+    has_negative = any(v < 0 for v in all_values)
+    series_width = max(
+        len(str(s)) for series in data.values() for s in series
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    for group, series in data.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            if not math.isfinite(value):
+                lines.append(f"  {str(name).ljust(series_width)} (no data)")
+                continue
+            if has_negative:
+                half = width // 2
+                bar_len = _scale(value, max_abs, half)
+                if value < 0:
+                    bar = " " * (half - bar_len) + _FULL * bar_len + "|"
+                else:
+                    bar = " " * half + "|" + _FULL * bar_len
+            else:
+                bar = _FULL * _scale(value, max_abs, width)
+            lines.append(
+                f"  {str(name).ljust(series_width)} {bar} {value:,.2f}{unit}"
+            )
+    return "\n".join(lines)

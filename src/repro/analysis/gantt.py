@@ -1,0 +1,118 @@
+"""ASCII Gantt / utilization rendering of a simulated schedule.
+
+Two views over a finished :class:`~repro.sim.engine.SimulationResult`:
+
+* :func:`utilization_strip` — one line: machine busyness over time in
+  eighth-block resolution, for a quick visual load check;
+* :func:`gantt` — the paper's "2D chart": time columns x processor rows,
+  each job a rectangle labelled by id (mod 62, base-62 digits), idle cells
+  as dots.  Intended for small scenarios (tests, examples, debugging a
+  backfill decision), not full traces.
+
+Both are pure functions of the completed-job records, so they can render
+any schedule regardless of which scheduler produced it.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.errors import ReproError
+from repro.metrics.collector import CompletedJob
+
+__all__ = ["gantt", "utilization_strip"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_LABELS = string.digits + string.ascii_uppercase + string.ascii_lowercase
+
+
+def _span(records: tuple[CompletedJob, ...]) -> tuple[float, float]:
+    if not records:
+        raise ReproError("cannot render an empty schedule")
+    start = min(r.job.submit_time for r in records)
+    end = max(r.finish_time for r in records)
+    if end <= start:
+        end = start + 1.0
+    return start, end
+
+
+def utilization_strip(
+    records: tuple[CompletedJob, ...],
+    total_procs: int,
+    *,
+    width: int = 72,
+) -> str:
+    """One-line block-character strip of machine busyness over time."""
+    if total_procs <= 0:
+        raise ReproError(f"total_procs must be > 0, got {total_procs}")
+    if width <= 0:
+        raise ReproError(f"width must be > 0, got {width}")
+    t0, t1 = _span(records)
+    step = (t1 - t0) / width
+    cells = []
+    for i in range(width):
+        mid = t0 + (i + 0.5) * step
+        busy = sum(
+            r.job.procs for r in records if r.start_time <= mid < r.finish_time
+        )
+        level = min(busy / total_procs, 1.0)
+        cells.append(_BLOCKS[round(level * (len(_BLOCKS) - 1))])
+    return "".join(cells)
+
+
+def gantt(
+    records: tuple[CompletedJob, ...],
+    total_procs: int,
+    *,
+    width: int = 72,
+) -> str:
+    """Processor-x-time chart with one row per processor.
+
+    Processor assignment is reconstructed first-fit (the simulator tracks
+    counts only — any assignment consistent with the counts is valid for a
+    flat machine, so first-fit is as faithful as any).
+    """
+    if total_procs <= 0:
+        raise ReproError(f"total_procs must be > 0, got {total_procs}")
+    t0, t1 = _span(records)
+    step = (t1 - t0) / width
+
+    # Assign each job a contiguous-when-possible set of processor rows.
+    rows: list[list[tuple[float, float, int]]] = [[] for _ in range(total_procs)]
+
+    def row_free(row: list[tuple[float, float, int]], start: float, end: float) -> bool:
+        return all(e <= start or s >= end for s, e, _ in row)
+
+    for record in sorted(records, key=lambda r: (r.start_time, r.job.job_id)):
+        needed = record.job.procs
+        placed = 0
+        for row in rows:
+            if placed == needed:
+                break
+            if row_free(row, record.start_time, record.finish_time):
+                row.append((record.start_time, record.finish_time, record.job.job_id))
+                placed += 1
+        if placed != needed:
+            raise ReproError(
+                f"could not place job {record.job.job_id}: schedule "
+                "oversubscribes the machine"
+            )
+
+    lines = []
+    for proc_index in range(total_procs - 1, -1, -1):
+        row = rows[proc_index]
+        cells = []
+        for i in range(width):
+            mid = t0 + (i + 0.5) * step
+            label = "."
+            for s, e, job_id in row:
+                if s <= mid < e:
+                    label = _LABELS[job_id % len(_LABELS)]
+                    break
+            cells.append(label)
+        lines.append(f"p{proc_index:<3d} " + "".join(cells))
+    lines.append(
+        f"     t=[{t0:.0f}, {t1:.0f}]  ({step:.1f}s per column; "
+        "labels are job ids mod 62)"
+    )
+    return "\n".join(lines)

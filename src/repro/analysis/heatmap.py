@@ -1,0 +1,146 @@
+"""Performance heatmaps: metric surfaces over (runtime, width) job space.
+
+The follow-up literature (Krakov & Feitelson, "Comparing performance
+heatmaps") argues that a single average — or even the paper's four
+categories — hides structure, and plots metrics over a 2D grid of job
+runtime x job size.  This module computes those surfaces from completed
+records and renders them as text:
+
+* :func:`job_count_heatmap` — how the workload populates the grid;
+* :func:`slowdown_heatmap` — mean bounded slowdown per cell;
+* :func:`render_heatmap` — aligned text grid with a shade legend.
+
+Buckets are logarithmic: runtime decades on one axis, power-of-two width
+buckets on the other — the same axes the paper's S/L and N/W thresholds
+quantize to {2 x 2}, so the heatmap is the categorization at full
+resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable
+
+from repro.errors import ReproError
+from repro.metrics.collector import CompletedJob
+
+__all__ = [
+    "runtime_bucket",
+    "width_bucket",
+    "job_count_heatmap",
+    "slowdown_heatmap",
+    "render_heatmap",
+]
+
+_SHADES = " .:-=+*#%@"
+
+
+def runtime_bucket(runtime: float) -> int:
+    """Decade index of a runtime: 0 -> [1, 10)s, 1 -> [10, 100)s, ..."""
+    return max(int(math.floor(math.log10(max(runtime, 1.0)))), 0)
+
+
+def width_bucket(procs: int) -> int:
+    """Power-of-two index of a width: 0 -> 1, 1 -> 2, 2 -> 3-4, 3 -> 5-8, ..."""
+    return 0 if procs <= 1 else int(math.ceil(math.log2(procs)))
+
+
+def _bucket_labels(max_runtime_bucket: int, max_width_bucket: int) -> tuple[list[str], list[str]]:
+    runtime_labels = [
+        f"1e{b}-1e{b + 1}s" for b in range(max_runtime_bucket + 1)
+    ]
+    width_labels = []
+    for b in range(max_width_bucket + 1):
+        if b == 0:
+            width_labels.append("1")
+        elif b == 1:
+            width_labels.append("2")
+        else:
+            width_labels.append(f"{2 ** (b - 1) + 1}-{2 ** b}")
+    return runtime_labels, width_labels
+
+
+def _build(
+    records: Iterable[CompletedJob],
+    value: Callable[[CompletedJob], float],
+    reducer: str,
+) -> tuple[dict[tuple[int, int], float], int, int]:
+    cells: dict[tuple[int, int], list[float]] = {}
+    max_rt, max_w = 0, 0
+    count = 0
+    for record in records:
+        count += 1
+        rt = runtime_bucket(record.job.runtime)
+        w = width_bucket(record.job.procs)
+        max_rt, max_w = max(max_rt, rt), max(max_w, w)
+        cells.setdefault((rt, w), []).append(value(record))
+    if count == 0:
+        raise ReproError("heatmap of an empty record set")
+    if reducer == "sum":
+        reduced = {key: float(sum(vs)) for key, vs in cells.items()}
+    elif reducer == "mean":
+        reduced = {key: sum(vs) / len(vs) for key, vs in cells.items()}
+    else:  # pragma: no cover - internal
+        raise ReproError(f"unknown reducer {reducer!r}")
+    return reduced, max_rt, max_w
+
+
+def job_count_heatmap(
+    records: Iterable[CompletedJob],
+) -> tuple[dict[tuple[int, int], float], int, int]:
+    """(cells, max_runtime_bucket, max_width_bucket) with job counts."""
+    return _build(records, lambda r: 1.0, "sum")
+
+
+def slowdown_heatmap(
+    records: Iterable[CompletedJob],
+) -> tuple[dict[tuple[int, int], float], int, int]:
+    """(cells, ...) with mean bounded slowdown per cell."""
+    return _build(records, lambda r: r.bounded_slowdown, "mean")
+
+
+def render_heatmap(
+    cells: dict[tuple[int, int], float],
+    max_runtime_bucket: int,
+    max_width_bucket: int,
+    *,
+    title: str | None = None,
+    log_shading: bool = True,
+) -> str:
+    """Text grid: rows = width buckets (wide on top), columns = runtime.
+
+    Cell shade encodes the value relative to the maximum (log-scaled by
+    default, since slowdowns and counts are heavy-tailed); the numeric
+    value is printed next to the shade.
+    """
+    if not cells:
+        raise ReproError("nothing to render")
+    runtime_labels, width_labels = _bucket_labels(max_runtime_bucket, max_width_bucket)
+    peak = max(cells.values())
+
+    def shade(value: float) -> str:
+        if peak <= 0:
+            return _SHADES[0]
+        if log_shading:
+            level = math.log1p(value) / math.log1p(peak)
+        else:
+            level = value / peak
+        return _SHADES[min(int(level * (len(_SHADES) - 1) + 0.5), len(_SHADES) - 1)]
+
+    label_width = max(len(l) for l in width_labels)
+    cell_width = 9
+    lines = []
+    if title:
+        lines.append(title)
+    for w in range(max_width_bucket, -1, -1):
+        row = [width_labels[w].rjust(label_width)]
+        for rt in range(max_runtime_bucket + 1):
+            value = cells.get((rt, w))
+            if value is None:
+                row.append("·".center(cell_width))
+            else:
+                row.append(f"{shade(value)}{value:7.1f} ")
+        lines.append(" ".join(row))
+    header = [" " * label_width] + [l.center(cell_width) for l in runtime_labels]
+    lines.append(" ".join(header))
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""A small, dependency-free column table.
+
+Covers what the experiment harness needs from a dataframe — append rows,
+select/filter, group-by aggregation, pivot, pretty-print, CSV export —
+without pulling in pandas (not available in the offline environment).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+import os
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An ordered collection of rows with a fixed set of named columns."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ReproError("a Table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ReproError(f"duplicate column names: {list(columns)}")
+        self.columns: tuple[str, ...] = tuple(columns)
+        self._rows: list[tuple] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, *values: Any, **named: Any) -> None:
+        """Append one row, positionally or by column name (not mixed)."""
+        if values and named:
+            raise ReproError("pass the row positionally or by name, not both")
+        if named:
+            missing = set(self.columns) - set(named)
+            extra = set(named) - set(self.columns)
+            if missing or extra:
+                raise ReproError(
+                    f"row keys mismatch: missing {sorted(missing)}, extra {sorted(extra)}"
+                )
+            row = tuple(named[c] for c in self.columns)
+        else:
+            if len(values) != len(self.columns):
+                raise ReproError(
+                    f"expected {len(self.columns)} values, got {len(values)}"
+                )
+            row = tuple(values)
+        self._rows.append(row)
+
+    @classmethod
+    def from_rows(cls, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> "Table":
+        table = cls(columns)
+        for row in rows:
+            table.append(*row)
+        return table
+
+    # -- access ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for row in self._rows:
+            yield dict(zip(self.columns, row))
+
+    def rows(self) -> list[tuple]:
+        return list(self._rows)
+
+    def column(self, name: str) -> list[Any]:
+        index = self._col_index(name)
+        return [row[index] for row in self._rows]
+
+    def _col_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise ReproError(
+                f"no column {name!r}; columns are {list(self.columns)}"
+            ) from None
+
+    # -- transforms ------------------------------------------------------------------
+
+    def where(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Rows matching a predicate over the row-as-dict."""
+        out = Table(self.columns)
+        for row_dict, row in zip(self, self._rows):
+            if predicate(row_dict):
+                out._rows.append(row)
+        return out
+
+    def select(self, *names: str) -> "Table":
+        """Project onto a subset of columns."""
+        indices = [self._col_index(n) for n in names]
+        out = Table(names)
+        for row in self._rows:
+            out._rows.append(tuple(row[i] for i in indices))
+        return out
+
+    def sort_by(self, *names: str, reverse: bool = False) -> "Table":
+        indices = [self._col_index(n) for n in names]
+        out = Table(self.columns)
+        out._rows = sorted(
+            self._rows, key=lambda row: tuple(row[i] for i in indices), reverse=reverse
+        )
+        return out
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregations: dict[str, Callable[[list[Any]], Any]],
+    ) -> "Table":
+        """Group rows on ``keys`` and reduce each remaining listed column.
+
+        ``aggregations`` maps column name -> reducer over the grouped values.
+        Output columns are the keys followed by the aggregated columns;
+        groups appear in first-seen order.
+        """
+        key_idx = [self._col_index(k) for k in keys]
+        agg_idx = {name: self._col_index(name) for name in aggregations}
+        groups: dict[tuple, list[tuple]] = {}
+        order: list[tuple] = []
+        for row in self._rows:
+            key = tuple(row[i] for i in key_idx)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        out = Table(list(keys) + list(aggregations))
+        for key in order:
+            members = groups[key]
+            aggregated = tuple(
+                fn([row[agg_idx[name]] for row in members])
+                for name, fn in aggregations.items()
+            )
+            out._rows.append(key + aggregated)
+        return out
+
+    def pivot(self, index: str, column: str, value: str) -> "Table":
+        """Spread ``column``'s distinct values into columns of ``value``.
+
+        Missing cells become ``math.nan``.  Duplicate (index, column) pairs
+        are an error — aggregate first with :meth:`group_by`.
+        """
+        i_idx = self._col_index(index)
+        c_idx = self._col_index(column)
+        v_idx = self._col_index(value)
+        col_values: list[Any] = []
+        row_keys: list[Any] = []
+        cells: dict[tuple[Any, Any], Any] = {}
+        for row in self._rows:
+            r, c, v = row[i_idx], row[c_idx], row[v_idx]
+            if c not in col_values:
+                col_values.append(c)
+            if r not in row_keys:
+                row_keys.append(r)
+            if (r, c) in cells:
+                raise ReproError(f"duplicate cell for ({r!r}, {c!r}); aggregate first")
+            cells[(r, c)] = v
+        out = Table([index] + [str(c) for c in col_values])
+        for r in row_keys:
+            out._rows.append(
+                (r,) + tuple(cells.get((r, c), math.nan) for c in col_values)
+            )
+        return out
+
+    def with_column(self, name: str, fn: Callable[[dict[str, Any]], Any]) -> "Table":
+        """Add a derived column computed from each row-as-dict."""
+        if name in self.columns:
+            raise ReproError(f"column {name!r} already exists")
+        out = Table(list(self.columns) + [name])
+        for row_dict, row in zip(self, self._rows):
+            out._rows.append(row + (fn(row_dict),))
+        return out
+
+    # -- rendering ------------------------------------------------------------------
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "-"
+            if value == 0 or 0.01 <= abs(value) < 1e7:
+                return f"{value:,.2f}"
+            return f"{value:.3g}"
+        return str(value)
+
+    def render(self, *, title: str | None = None) -> str:
+        """Monospace text rendering with aligned columns."""
+        header = [str(c) for c in self.columns]
+        body = [[self._format_cell(v) for v in row] for row in self._rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self, destination: str | os.PathLike | None = None) -> str:
+        """CSV text; also written to ``destination`` when given."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self._rows)
+        text = buffer.getvalue()
+        if destination is not None:
+            with open(destination, "w", encoding="utf-8", newline="") as fh:
+                fh.write(text)
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Table {len(self._rows)}x{len(self.columns)} {list(self.columns)}>"

@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro`` / ``repro-sched``.
+
+Subcommands:
+
+* ``experiment`` — run one (or all) of the paper's experiments and print
+  the tables, charts, and trend checks.
+* ``simulate`` — one-off simulation of a generated or SWF workload under a
+  chosen scheduler, printing the metric summary.
+* ``generate`` — emit a synthetic workload as an SWF file.
+* ``report`` — run experiments and write a Markdown/CSV results directory.
+* ``characterize`` — print a workload's characterization statistics.
+* ``list`` — list available experiments, schedulers, and priorities.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.experiments.config import DEFAULT_PARAMS, ExperimentParams
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import SCHEDULER_KINDS, make_scheduler, make_workload
+from repro.experiments.config import WorkloadSpec
+from repro.sched.priority.policies import PRIORITY_POLICIES
+from repro.sim.engine import simulate
+from repro.workload.swf import read_swf, write_swf
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description=(
+            "Reproduction harness for 'Characterization of Backfilling "
+            "Strategies for Parallel Job Scheduling' (ICPP 2002)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument(
+        "id",
+        nargs="?",
+        default="all",
+        help=f"experiment id ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    exp.add_argument("--jobs", type=int, default=DEFAULT_PARAMS.n_jobs)
+    exp.add_argument(
+        "--seeds", type=int, nargs="+", default=list(DEFAULT_PARAMS.seeds)
+    )
+    exp.add_argument("--load-scale", type=float, default=DEFAULT_PARAMS.load_scale)
+    exp.add_argument(
+        "--traces", nargs="+", default=list(DEFAULT_PARAMS.traces),
+        choices=["CTC", "SDSC", "LUBLIN"],
+    )
+
+    sim = sub.add_parser("simulate", help="simulate one workload/scheduler pair")
+    sim.add_argument("--trace", default="CTC", choices=["CTC", "SDSC", "LUBLIN"])
+    sim.add_argument("--swf", help="read the workload from an SWF file instead")
+    sim.add_argument("--jobs", type=int, default=2500)
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--load-scale", type=float, default=1.0)
+    sim.add_argument(
+        "--estimate", default="exact", choices=["exact", "r2", "r4", "user"]
+    )
+    sim.add_argument("--scheduler", default="easy", choices=list(SCHEDULER_KINDS))
+    sim.add_argument(
+        "--priority", default="FCFS", choices=list(PRIORITY_POLICIES)
+    )
+
+    gen = sub.add_parser("generate", help="write a synthetic workload as SWF")
+    gen.add_argument("output", help="destination .swf path")
+    gen.add_argument("--trace", default="CTC", choices=["CTC", "SDSC", "LUBLIN"])
+    gen.add_argument("--jobs", type=int, default=2500)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--load-scale", type=float, default=1.0)
+    gen.add_argument(
+        "--estimate", default="exact", choices=["exact", "r2", "r4", "user"]
+    )
+
+    report = sub.add_parser(
+        "report", help="run experiments and write a results directory"
+    )
+    report.add_argument("output", help="destination directory")
+    report.add_argument(
+        "ids", nargs="*", default=[], help="experiment ids (default: all)"
+    )
+    report.add_argument("--jobs", type=int, default=DEFAULT_PARAMS.n_jobs)
+    report.add_argument(
+        "--seeds", type=int, nargs="+", default=list(DEFAULT_PARAMS.seeds)
+    )
+    report.add_argument("--load-scale", type=float, default=DEFAULT_PARAMS.load_scale)
+    report.add_argument(
+        "--traces", nargs="+", default=list(DEFAULT_PARAMS.traces),
+        choices=["CTC", "SDSC", "LUBLIN"],
+    )
+
+    char = sub.add_parser(
+        "characterize", help="print a workload's characterization statistics"
+    )
+    char.add_argument("--trace", default="CTC", choices=["CTC", "SDSC", "LUBLIN"])
+    char.add_argument("--swf", help="characterize an SWF file instead")
+    char.add_argument("--jobs", type=int, default=2500)
+    char.add_argument("--seed", type=int, default=1)
+    char.add_argument("--load-scale", type=float, default=1.0)
+
+    sub.add_parser("list", help="list experiments, schedulers, priorities")
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    params = ExperimentParams(
+        n_jobs=args.jobs,
+        seeds=tuple(args.seeds),
+        load_scale=args.load_scale,
+        traces=tuple(args.traces),
+    )
+    ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    failures = 0
+    for experiment_id in ids:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, params)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n({experiment_id} completed in {elapsed:.1f}s)\n")
+        if not result.all_trends_hold:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had trend checks that did not hold.")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.swf:
+        workload = read_swf(args.swf)
+    else:
+        workload = make_workload(
+            WorkloadSpec(
+                trace=args.trace,
+                n_jobs=args.jobs,
+                seed=args.seed,
+                load_scale=args.load_scale,
+                estimate=args.estimate,
+            )
+        )
+    scheduler = make_scheduler(args.scheduler, args.priority)
+    result = simulate(workload, scheduler)
+    overall = result.metrics.overall
+    print(f"workload : {result.workload_name} ({len(workload)} jobs, "
+          f"{workload.max_procs} procs, offered load {workload.offered_load:.3f})")
+    print(f"scheduler: {result.scheduler_name}")
+    print(f"mean bounded slowdown : {overall.mean_bounded_slowdown:12.2f}")
+    print(f"mean turnaround (s)   : {overall.mean_turnaround:12.0f}")
+    print(f"mean wait (s)         : {overall.mean_wait:12.0f}")
+    print(f"worst turnaround (s)  : {overall.max_turnaround:12.0f}")
+    print(f"utilization           : {result.metrics.utilization:12.3f}")
+    for category, summary in result.metrics.by_category.items():
+        print(
+            f"  {category.value}: n={summary.count:6d} "
+            f"slowdown={summary.mean_bounded_slowdown:10.2f} "
+            f"turnaround={summary.mean_turnaround:10.0f}"
+        )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workload = make_workload(
+        WorkloadSpec(
+            trace=args.trace,
+            n_jobs=args.jobs,
+            seed=args.seed,
+            load_scale=args.load_scale,
+            estimate=args.estimate,
+        )
+    )
+    write_swf(workload, args.output)
+    print(f"wrote {len(workload)} jobs to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import ReportWriter
+
+    params = ExperimentParams(
+        n_jobs=args.jobs,
+        seeds=tuple(args.seeds),
+        load_scale=args.load_scale,
+        traces=tuple(args.traces),
+    )
+    ids = args.ids or list(EXPERIMENTS)
+    writer = ReportWriter(args.output)
+    for experiment_id in ids:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, params)
+        writer.add(result)
+        print(f"{experiment_id}: written ({time.perf_counter() - started:.1f}s)")
+    index = writer.finalize()
+    print(f"index: {index}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.workload.stats import (
+        characterization_table,
+        hourly_arrival_profile,
+        runtime_histogram,
+        width_histogram,
+    )
+
+    if args.swf:
+        workload = read_swf(args.swf)
+    else:
+        workload = make_workload(
+            WorkloadSpec(
+                trace=args.trace,
+                n_jobs=args.jobs,
+                seed=args.seed,
+                load_scale=args.load_scale,
+            )
+        )
+    print(characterization_table(workload).render(title=f"Workload: {workload.name}"))
+    print("\nruntime histogram (jobs per decade):")
+    for bucket, count in runtime_histogram(workload).items():
+        print(f"  {bucket:>18s}  {count}")
+    print("\nwidth histogram (jobs per power-of-two bucket):")
+    for bucket, count in width_histogram(workload).items():
+        print(f"  {bucket:>8s}  {count}")
+    profile = hourly_arrival_profile(workload)
+    peak = max(profile) or 1
+    print("\narrivals by hour of day:")
+    for hour, count in enumerate(profile):
+        bar = "#" * round(30 * count / peak)
+        print(f"  {hour:02d}h {bar} {count}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for experiment_id in EXPERIMENTS:
+        print(f"  {experiment_id}")
+    print("schedulers:", ", ".join(SCHEDULER_KINDS))
+    print("priorities:", ", ".join(PRIORITY_POLICIES))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "simulate": _cmd_simulate,
+        "generate": _cmd_generate,
+        "report": _cmd_report,
+        "characterize": _cmd_characterize,
+        "list": _cmd_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Cluster resource substrate: the processor pool."""
+
+from repro.cluster.machine import Machine
+
+__all__ = ["Machine"]

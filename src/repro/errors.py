@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class WorkloadError(ReproError):
+    """A workload could not be generated, parsed, or transformed."""
+
+
+class SWFFormatError(WorkloadError):
+    """A Standard Workload Format file violates the format specification."""
+
+    def __init__(self, message: str, *, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """A scheduler violated one of its invariants (oversubscription, lost job, ...)."""
+
+
+class AllocationError(SchedulingError):
+    """A processor allocation request could not be satisfied or released."""
+
+
+class ProfileError(SchedulingError):
+    """The processor-availability profile was manipulated inconsistently."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment failed to run or produced no usable output."""

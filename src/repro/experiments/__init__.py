@@ -1,0 +1,41 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment is a pure function of its :class:`ExperimentParams`
+(workload sizes, seeds, load scale) and returns an
+:class:`ExperimentResult` carrying data tables, rendered charts, and a
+``findings`` dict with the boolean trend checks that EXPERIMENTS.md
+records.  The registry maps experiment ids (``figure1``, ``table4``, ...)
+to their runners; the CLI and the benchmark suite both go through it.
+"""
+
+from repro.experiments.config import (
+    DEFAULT_PARAMS,
+    QUICK_PARAMS,
+    ExperimentParams,
+    WorkloadSpec,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    clear_cache,
+    make_estimate_model,
+    make_scheduler,
+    make_workload,
+    run_cell,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "QUICK_PARAMS",
+    "ExperimentParams",
+    "WorkloadSpec",
+    "ExperimentResult",
+    "clear_cache",
+    "make_estimate_model",
+    "make_scheduler",
+    "make_workload",
+    "run_cell",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

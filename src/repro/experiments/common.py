@@ -1,0 +1,97 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from repro.analysis.stats import mean
+from repro.experiments.config import ExperimentParams
+from repro.experiments.runner import cached_workload, run_cell
+from repro.metrics.categories import Category, EstimateQuality, estimate_quality
+from repro.metrics.collector import RunMetrics
+
+__all__ = [
+    "PRIORITIES",
+    "seed_mean",
+    "overall_slowdown",
+    "overall_turnaround",
+    "worst_turnaround",
+    "category_slowdown",
+    "quality_ids",
+    "conditional_slowdown",
+]
+
+#: The paper's three priority policies, in presentation order.
+PRIORITIES = ("FCFS", "SJF", "XF")
+
+
+def seed_mean(
+    params: ExperimentParams,
+    trace: str,
+    estimate: str,
+    kind: str,
+    priority: str,
+    metric,
+    **options,
+) -> float:
+    """Mean of ``metric(RunMetrics)`` over the parameter set's seeds."""
+    values = []
+    for spec in params.specs(trace, estimate):
+        values.append(metric(run_cell(spec, kind, priority, **options)))
+    return mean(values)
+
+
+def overall_slowdown(params, trace, estimate, kind, priority, **options) -> float:
+    """Seed-mean of the overall mean bounded slowdown for one cell."""
+    return seed_mean(
+        params, trace, estimate, kind, priority,
+        lambda m: m.overall.mean_bounded_slowdown, **options,
+    )
+
+
+def overall_turnaround(params, trace, estimate, kind, priority, **options) -> float:
+    """Seed-mean of the overall mean turnaround time for one cell."""
+    return seed_mean(
+        params, trace, estimate, kind, priority,
+        lambda m: m.overall.mean_turnaround, **options,
+    )
+
+
+def worst_turnaround(params, trace, estimate, kind, priority, **options) -> float:
+    """Seed-mean of the worst-case turnaround time for one cell."""
+    return seed_mean(
+        params, trace, estimate, kind, priority,
+        lambda m: m.overall.max_turnaround, **options,
+    )
+
+
+def category_slowdown(
+    params, trace, estimate, kind, priority, category: Category, **options
+) -> float:
+    """Seed-mean of one category's mean bounded slowdown for one cell."""
+    return seed_mean(
+        params, trace, estimate, kind, priority,
+        lambda m: m.by_category[category].mean_bounded_slowdown, **options,
+    )
+
+
+def quality_ids(params: ExperimentParams, trace: str, seed: int) -> dict[EstimateQuality, set[int]]:
+    """Job-id sets per estimate-quality class of the *user-estimate* workload.
+
+    Figure 4 compares the same job sets across the exact and user-estimate
+    runs, so the classification always comes from the user-estimate
+    workload (under exact estimates every job is trivially "well").
+    """
+    workload = cached_workload(params.spec(trace, seed, "user"))
+    ids: dict[EstimateQuality, set[int]] = {q: set() for q in EstimateQuality}
+    for job in workload:
+        ids[estimate_quality(job)].add(job.job_id)
+    return ids
+
+
+def conditional_slowdown(metrics: RunMetrics, ids: set[int]) -> float:
+    """Mean bounded slowdown restricted to the given job ids."""
+    values = [
+        record.bounded_slowdown
+        for record in metrics.records
+        if record.job.job_id in ids
+    ]
+    return mean(values)

@@ -1,0 +1,83 @@
+"""Ablation: conservative-backfilling compression variants.
+
+DESIGN.md calls out that "conservative backfilling" is underspecified on
+one axis: what happens to the outstanding reservations when an early
+completion opens a hole.  The variants implemented by
+:class:`~repro.sched.backfill.conservative.ConservativeScheduler`:
+
+* ``repack`` — rebuild all reservations against current state, in priority
+  order (the paper's behaviour: reservations act as near-term roofs);
+* ``startonly`` — only immediate starts into the hole; untouched
+  reservations keep their stale, estimate-inflated far-future positions;
+* ``full`` — immediate starts plus moving future reservations earlier
+  (never later);
+* ``none`` — holes are never refilled early.
+
+The ablation quantifies how much the choice matters under inaccurate
+estimates (it is invisible under exact estimates, where no holes open —
+also checked here).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import mean
+from repro.analysis.table import Table
+from repro.experiments.config import ExperimentParams
+from repro.experiments.runner import ExperimentResult, run_cell
+
+__all__ = ["run", "MODES"]
+
+_TRACE = "CTC"
+MODES = ("none", "startonly", "full", "repack")
+
+
+def _mean_metric(params: ExperimentParams, estimate: str, metric, **options) -> float:
+    return mean(
+        [
+            metric(run_cell(params.spec(_TRACE, seed, estimate), "cons", "FCFS", **options))
+            for seed in params.seeds
+        ]
+    )
+
+
+def run(params: ExperimentParams) -> ExperimentResult:
+    """Run this experiment at the given parameters (see module docs)."""
+    result = ExperimentResult(
+        experiment_id="ablation-compression",
+        title="Conservative compression-variant ablation, CTC",
+    )
+    table = Table(
+        ["compression", "slowdown_exact", "slowdown_user", "worst_turnaround_user"]
+    )
+    values: dict[str, tuple[float, float, float]] = {}
+    for mode in MODES:
+        sld_exact = _mean_metric(
+            params, "exact", lambda m: m.overall.mean_bounded_slowdown, compression=mode
+        )
+        sld_user = _mean_metric(
+            params, "user", lambda m: m.overall.mean_bounded_slowdown, compression=mode
+        )
+        worst_user = _mean_metric(
+            params, "user", lambda m: m.overall.max_turnaround, compression=mode
+        )
+        values[mode] = (sld_exact, sld_user, worst_user)
+        table.append(mode, sld_exact, sld_user, worst_user)
+    result.tables["compression variants"] = table
+
+    exact_values = [values[mode][0] for mode in MODES]
+    result.findings[
+        "compression mode is irrelevant under exact estimates (no holes ever open)"
+    ] = max(exact_values) - min(exact_values) < 1e-6
+    result.findings[
+        "refilling holes beats never refilling them (user estimates)"
+    ] = all(values[mode][1] < values["none"][1] for mode in ("startonly", "full", "repack"))
+    result.findings[
+        "stale reservations (startonly) pack more greedily than repack"
+    ] = values["startonly"][1] < values["repack"][1]
+    result.notes.append(
+        "The startonly/full variants behave like aggressive greedy packers "
+        "because stale, estimate-inflated reservations barely constrain the "
+        "near-term schedule; repack reproduces the paper's conservative "
+        "behaviour where reservations act as roofs."
+    )
+    return result

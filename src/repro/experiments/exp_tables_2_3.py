@@ -1,0 +1,67 @@
+"""Tables 2 and 3: job category distribution of the traces.
+
+The paper characterizes its two traces by the fraction of jobs in each
+Short/Long x Narrow/Wide category (Table 1 thresholds).  This experiment
+regenerates those distributions from our synthetic CTC and SDSC workload
+models and checks them against the calibration targets reconstructed from
+the paper (DESIGN.md documents the OCR reconstruction).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.table import Table
+from repro.experiments.config import ExperimentParams
+from repro.experiments.runner import ExperimentResult, cached_workload
+from repro.metrics.categories import Category, category_counts
+
+__all__ = ["run", "PAPER_TARGETS"]
+
+#: Reconstructed paper values (percent of jobs per category).
+PAPER_TARGETS: dict[str, dict[Category, float]] = {
+    "CTC": {
+        Category.SN: 45.60,
+        Category.SW: 11.84,
+        Category.LN: 29.70,
+        Category.LW: 12.84,
+    },
+    "SDSC": {
+        Category.SN: 47.24,
+        Category.SW: 21.44,
+        Category.LN: 20.94,
+        Category.LW: 10.38,
+    },
+}
+
+#: A generated mix within this many percentage points of target passes.
+TOLERANCE_POINTS = 3.0
+
+
+def run(params: ExperimentParams) -> ExperimentResult:
+    """Run this experiment at the given parameters (see module docs)."""
+    result = ExperimentResult(
+        experiment_id="tables23",
+        title="Job category distribution per trace (paper Tables 2-3)",
+    )
+    table = Table(["trace", "category", "paper_pct", "measured_pct", "delta_points"])
+    for trace in ("CTC", "SDSC"):
+        measured: dict[Category, list[float]] = {c: [] for c in Category}
+        for seed in params.seeds:
+            workload = cached_workload(params.spec(trace, seed, "exact"))
+            counts = category_counts(workload)
+            total = sum(counts.values())
+            for category, count in counts.items():
+                measured[category].append(100.0 * count / total)
+        trace_ok = True
+        for category in Category:
+            measured_pct = sum(measured[category]) / len(measured[category])
+            target = PAPER_TARGETS[trace][category]
+            delta = measured_pct - target
+            table.append(trace, category.value, target, measured_pct, delta)
+            if abs(delta) > TOLERANCE_POINTS:
+                trace_ok = False
+        result.findings[
+            f"{trace}: all four category fractions within "
+            f"{TOLERANCE_POINTS} points of the paper's Table"
+        ] = trace_ok
+    result.tables["category distribution"] = table
+    return result

@@ -1,0 +1,73 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    exp_ablation,
+    exp_depth,
+    exp_figure1,
+    exp_figure2,
+    exp_figure3,
+    exp_fairshare,
+    exp_figure4,
+    exp_grid,
+    exp_loadsweep,
+    exp_maintenance,
+    exp_prediction,
+    exp_preemption,
+    exp_schedulers,
+    exp_selective,
+    exp_shaking,
+    exp_table4,
+    exp_table7,
+    exp_tables_2_3,
+    exp_tables_5_6,
+)
+from repro.experiments.config import DEFAULT_PARAMS, ExperimentParams
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+#: All experiments, in paper order.
+EXPERIMENTS: dict[str, Callable[[ExperimentParams], ExperimentResult]] = {
+    "tables23": exp_tables_2_3.run,
+    "figure1": exp_figure1.run,
+    "figure2": exp_figure2.run,
+    "table4": exp_table4.run,
+    "tables56": exp_tables_5_6.run,
+    "figure3": exp_figure3.run,
+    "figure4": exp_figure4.run,
+    "table7": exp_table7.run,
+    "selective": exp_selective.run,
+    "ablation-compression": exp_ablation.run,
+    "loadsweep": exp_loadsweep.run,
+    "prediction": exp_prediction.run,
+    "schedulers": exp_schedulers.run,
+    "grid": exp_grid.run,
+    "preemption": exp_preemption.run,
+    "shaking": exp_shaking.run,
+    "depth": exp_depth.run,
+    "fairshare": exp_fairshare.run,
+    "maintenance": exp_maintenance.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[ExperimentParams], ExperimentResult]:
+    """Look up an experiment runner by id; raises ExperimentError if unknown."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, params: ExperimentParams | None = None
+) -> ExperimentResult:
+    """Run one experiment by id with the given (or default) parameters."""
+    return get_experiment(experiment_id)(params or DEFAULT_PARAMS)

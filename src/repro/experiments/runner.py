@@ -1,0 +1,193 @@
+"""Workload/scheduler factories and the cached cell runner.
+
+A *cell* is one simulation: (workload spec) x (scheduler kind, priority).
+Several experiments share cells — e.g. the exact-estimate conservative run
+of Figure 1 is also the baseline of Figure 2 and Table 4 — so results are
+memoized per process.  The cache key is pure data (frozen dataclasses and
+strings), which keeps the memoization sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    TRACE_QUEUE_LIMITS,
+    USER_MODEL_MAX_FACTOR,
+    USER_MODEL_WELL_FRACTION,
+    WorkloadSpec,
+)
+from repro.metrics.collector import RunMetrics
+from repro.sched.backfill.conservative import ConservativeScheduler
+from repro.sched.backfill.depth import DepthScheduler
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.backfill.lookahead import LookaheadScheduler
+from repro.sched.backfill.multiqueue import MultiQueueScheduler
+from repro.sched.backfill.nobf import FCFSScheduler
+from repro.sched.backfill.selective import SelectiveScheduler
+from repro.sched.backfill.slack import SlackScheduler
+from repro.sched.base import Scheduler
+from repro.sched.priority.policies import policy_by_name
+from repro.sim.engine import simulate
+from repro.workload.estimates import (
+    ClampedEstimate,
+    EstimateModel,
+    ExactEstimate,
+    MultiplicativeEstimate,
+    UserEstimateModel,
+)
+from repro.workload.generators.ctc import CTCGenerator
+from repro.workload.generators.lublin import LublinGenerator
+from repro.workload.generators.sdsc import SDSCGenerator
+from repro.workload.job import Workload
+from repro.workload.transforms import apply_estimates, scale_load
+
+__all__ = [
+    "ExperimentResult",
+    "make_workload",
+    "make_estimate_model",
+    "make_scheduler",
+    "run_cell",
+    "clear_cache",
+]
+
+#: Offset so the estimate-model RNG stream never collides with the
+#: workload-generation stream for the same seed.
+_ESTIMATE_SEED_OFFSET = 10_007
+
+
+@dataclass
+class ExperimentResult:
+    """What one experiment produces."""
+
+    experiment_id: str
+    title: str
+    tables: dict[str, object] = field(default_factory=dict)  # name -> Table
+    charts: dict[str, str] = field(default_factory=dict)  # name -> rendered text
+    findings: dict[str, bool] = field(default_factory=dict)  # trend -> holds?
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full text report: tables, charts, then the trend checklist."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for name, table in self.tables.items():
+            parts.append(table.render(title=f"-- {name}"))
+        for name, chart in self.charts.items():
+            parts.append(f"-- {name}\n{chart}")
+        if self.findings:
+            parts.append("-- trend checks")
+            for trend, holds in self.findings.items():
+                parts.append(f"  [{'x' if holds else ' '}] {trend}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    @property
+    def all_trends_hold(self) -> bool:
+        return all(self.findings.values()) if self.findings else True
+
+
+def make_estimate_model(spec: WorkloadSpec) -> EstimateModel:
+    """The estimate model a spec's ``estimate`` regime denotes."""
+    if spec.estimate == "exact":
+        return ExactEstimate()
+    if spec.estimate == "r2":
+        return MultiplicativeEstimate(2.0)
+    if spec.estimate == "r4":
+        return MultiplicativeEstimate(4.0)
+    if spec.estimate == "user":
+        return ClampedEstimate(
+            UserEstimateModel(
+                well_fraction=USER_MODEL_WELL_FRACTION,
+                max_factor=USER_MODEL_MAX_FACTOR,
+            ),
+            TRACE_QUEUE_LIMITS[spec.trace],
+        )
+    raise ConfigurationError(f"unknown estimate regime {spec.estimate!r}")
+
+
+def make_workload(spec: WorkloadSpec) -> Workload:
+    """Generate, load-scale, and estimate-stamp the workload a spec denotes."""
+    if spec.trace == "CTC":
+        generator = CTCGenerator()
+    elif spec.trace == "SDSC":
+        generator = SDSCGenerator()
+    elif spec.trace == "LUBLIN":
+        generator = LublinGenerator()
+    else:  # pragma: no cover - guarded by WorkloadSpec validation
+        raise ConfigurationError(f"unknown trace {spec.trace!r}")
+    workload = generator.generate(spec.n_jobs, seed=spec.seed)
+    if spec.load_scale != 1.0:
+        workload = scale_load(workload, spec.load_scale)
+    model = make_estimate_model(spec)
+    if not isinstance(model, ExactEstimate):
+        workload = apply_estimates(
+            workload, model, seed=spec.seed + _ESTIMATE_SEED_OFFSET
+        )
+    return workload
+
+
+#: Scheduler kinds understood by the harness.
+SCHEDULER_KINDS = ("nobf", "cons", "easy", "sel", "look", "slack", "depth", "mq")
+
+
+def make_scheduler(kind: str, priority: str = "FCFS", **options) -> Scheduler:
+    """Build a scheduler by kind and priority-policy name.
+
+    ``options`` forward to the scheduler constructor (e.g.
+    ``compression=`` for conservative, ``xfactor_threshold=`` for
+    selective).
+    """
+    policy = policy_by_name(priority)
+    if kind == "nobf":
+        return FCFSScheduler(policy, **options)
+    if kind == "cons":
+        return ConservativeScheduler(policy, **options)
+    if kind == "easy":
+        return EasyScheduler(policy, **options)
+    if kind == "sel":
+        return SelectiveScheduler(policy, **options)
+    if kind == "look":
+        return LookaheadScheduler(policy, **options)
+    if kind == "slack":
+        return SlackScheduler(policy, **options)
+    if kind == "depth":
+        return DepthScheduler(policy, **options)
+    if kind == "mq":
+        return MultiQueueScheduler(policy, **options)
+    raise ConfigurationError(
+        f"unknown scheduler kind {kind!r}; expected one of {SCHEDULER_KINDS}"
+    )
+
+
+_workload_cache: dict[WorkloadSpec, Workload] = {}
+_cell_cache: dict[tuple, RunMetrics] = {}
+
+
+def cached_workload(spec: WorkloadSpec) -> Workload:
+    """Memoized :func:`make_workload`."""
+    if spec not in _workload_cache:
+        _workload_cache[spec] = make_workload(spec)
+    return _workload_cache[spec]
+
+
+def run_cell(
+    spec: WorkloadSpec,
+    kind: str,
+    priority: str = "FCFS",
+    **options,
+) -> RunMetrics:
+    """Simulate one (workload, scheduler) cell, memoized per process."""
+    key = (spec, kind, priority, tuple(sorted(options.items())))
+    if key not in _cell_cache:
+        workload = cached_workload(spec)
+        scheduler = make_scheduler(kind, priority, **options)
+        _cell_cache[key] = simulate(workload, scheduler).metrics
+    return _cell_cache[key]
+
+
+def clear_cache() -> None:
+    """Drop all memoized workloads and cells (used by tests)."""
+    _workload_cache.clear()
+    _cell_cache.clear()

@@ -1,0 +1,31 @@
+"""Multi-cluster grid scheduling with multiple simultaneous requests.
+
+Reproduces the system of the paper's reference [12] — Subramani,
+Kettimuthu, Srinivasan & Sadayappan, *Distributed job scheduling on
+computational grids using multiple simultaneous requests* (HPDC 2002) —
+on top of this package's single-site substrate: each grid *site* is a
+machine plus any of the backfilling schedulers; a *metascheduler*
+replicates every arriving job to K sites and cancels the losing replicas
+the moment one site starts the job.
+"""
+
+from repro.grid.site import GridSite
+from repro.grid.dispatch import (
+    DispatchPolicy,
+    LeastLoadedDispatch,
+    RandomDispatch,
+    RoundRobinDispatch,
+    dispatch_by_name,
+)
+from repro.grid.engine import GridSimulator, GridResult
+
+__all__ = [
+    "GridSite",
+    "DispatchPolicy",
+    "LeastLoadedDispatch",
+    "RandomDispatch",
+    "RoundRobinDispatch",
+    "dispatch_by_name",
+    "GridSimulator",
+    "GridResult",
+]

@@ -1,0 +1,94 @@
+"""Job categorization (paper Table 1 and Section 5.2).
+
+Two orthogonal classifications:
+
+* **Shape** (Table 1): runtime <= 1 h is *Short* else *Long*; processors
+  <= 8 is *Narrow* else *Wide*, yielding SN / SW / LN / LW.  The paper
+  classifies on the *actual* run time (the study's whole point is to see
+  how schedulers treat truly-short vs truly-long work).
+* **Estimate quality** (Section 5.2): estimate <= 2x runtime is *well
+  estimated*, otherwise *poorly estimated*.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.workload.job import Job
+
+__all__ = [
+    "SHORT_LONG_BOUNDARY_SECONDS",
+    "NARROW_WIDE_BOUNDARY_PROCS",
+    "WELL_ESTIMATED_MAX_FACTOR",
+    "Category",
+    "EstimateQuality",
+    "categorize",
+    "estimate_quality",
+    "category_counts",
+]
+
+#: Table 1: jobs running at most one hour are Short.
+SHORT_LONG_BOUNDARY_SECONDS = 3600.0
+
+#: Table 1: jobs requesting at most 8 processors are Narrow.
+NARROW_WIDE_BOUNDARY_PROCS = 8
+
+#: Section 5.2: estimate <= 2x runtime is "well estimated".
+WELL_ESTIMATED_MAX_FACTOR = 2.0
+
+
+class Category(str, Enum):
+    """The four shape categories from paper Table 1."""
+
+    SN = "SN"
+    SW = "SW"
+    LN = "LN"
+    LW = "LW"
+
+    @property
+    def is_short(self) -> bool:
+        return self.value[0] == "S"
+
+    @property
+    def is_narrow(self) -> bool:
+        return self.value[1] == "N"
+
+
+class EstimateQuality(str, Enum):
+    """Well vs poorly estimated (paper Section 5.2)."""
+
+    WELL = "well"
+    POOR = "poor"
+
+
+def categorize(
+    job: Job,
+    *,
+    runtime_boundary: float = SHORT_LONG_BOUNDARY_SECONDS,
+    width_boundary: int = NARROW_WIDE_BOUNDARY_PROCS,
+) -> Category:
+    """Classify a job into SN/SW/LN/LW by actual runtime and width."""
+    short = job.runtime <= runtime_boundary
+    narrow = job.procs <= width_boundary
+    if short:
+        return Category.SN if narrow else Category.SW
+    return Category.LN if narrow else Category.LW
+
+
+def estimate_quality(
+    job: Job,
+    *,
+    max_factor: float = WELL_ESTIMATED_MAX_FACTOR,
+) -> EstimateQuality:
+    """Classify a job as well or poorly estimated."""
+    if job.estimate <= max_factor * job.runtime:
+        return EstimateQuality.WELL
+    return EstimateQuality.POOR
+
+
+def category_counts(jobs) -> dict[Category, int]:
+    """Count jobs per category (used by the Tables 2-3 experiment)."""
+    counts = {category: 0 for category in Category}
+    for job in jobs:
+        counts[categorize(job)] += 1
+    return counts

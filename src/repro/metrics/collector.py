@@ -1,0 +1,185 @@
+"""Per-run metric records and aggregation.
+
+The simulator produces one :class:`CompletedJob` per job; :func:`summarize`
+rolls a set of them into a :class:`RunMetrics` with the aggregates the paper
+reports: average bounded slowdown, average turnaround time, and worst-case
+turnaround time — overall, per shape category, and per estimate-quality
+class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.metrics.categories import (
+    Category,
+    EstimateQuality,
+    categorize,
+    estimate_quality,
+)
+from repro.metrics.defs import bounded_slowdown, turnaround_time, wait_time
+from repro.workload.job import Job
+
+__all__ = ["CompletedJob", "MetricSummary", "RunMetrics", "summarize"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompletedJob:
+    """The scheduling outcome of a single job."""
+
+    job: Job
+    start_time: float
+    finish_time: float
+
+    def __post_init__(self) -> None:
+        if self.start_time < self.job.submit_time - 1e-9:
+            raise SimulationError(
+                f"job {self.job.job_id} started at {self.start_time} before "
+                f"its submission at {self.job.submit_time}"
+            )
+        expected_finish = self.start_time + self.job.effective_runtime
+        if not math.isclose(self.finish_time, expected_finish, rel_tol=1e-9, abs_tol=1e-6):
+            raise SimulationError(
+                f"job {self.job.job_id} ran {self.finish_time - self.start_time}s, "
+                f"expected {self.job.effective_runtime}s"
+            )
+
+    @property
+    def wait(self) -> float:
+        return wait_time(self.job.submit_time, self.start_time)
+
+    @property
+    def turnaround(self) -> float:
+        return turnaround_time(self.job.submit_time, self.finish_time)
+
+    @property
+    def bounded_slowdown(self) -> float:
+        return bounded_slowdown(self.job.submit_time, self.start_time, self.finish_time)
+
+    @property
+    def category(self) -> Category:
+        return categorize(self.job)
+
+    @property
+    def estimate_quality(self) -> EstimateQuality:
+        return estimate_quality(self.job)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSummary:
+    """Aggregates over one group of completed jobs."""
+
+    count: int
+    mean_bounded_slowdown: float
+    mean_turnaround: float
+    mean_wait: float
+    max_turnaround: float
+    max_bounded_slowdown: float
+
+    @classmethod
+    def empty(cls) -> "MetricSummary":
+        return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+
+    @classmethod
+    def of(cls, records: list[CompletedJob]) -> "MetricSummary":
+        if not records:
+            return cls.empty()
+        slowdowns = [r.bounded_slowdown for r in records]
+        turnarounds = [r.turnaround for r in records]
+        waits = [r.wait for r in records]
+        n = len(records)
+        return cls(
+            count=n,
+            mean_bounded_slowdown=sum(slowdowns) / n,
+            mean_turnaround=sum(turnarounds) / n,
+            mean_wait=sum(waits) / n,
+            max_turnaround=max(turnarounds),
+            max_bounded_slowdown=max(slowdowns),
+        )
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Full metric breakdown of one simulation run."""
+
+    overall: MetricSummary
+    by_category: dict[Category, MetricSummary]
+    by_estimate_quality: dict[EstimateQuality, MetricSummary]
+    utilization: float
+    makespan: float
+    records: tuple[CompletedJob, ...] = field(repr=False)
+
+    def category_summary(self, category: Category | str) -> MetricSummary:
+        return self.by_category[Category(category)]
+
+    def quality_summary(self, quality: EstimateQuality | str) -> MetricSummary:
+        return self.by_estimate_quality[EstimateQuality(quality)]
+
+    def record_for(self, job_id: int) -> CompletedJob:
+        for record in self.records:
+            if record.job.job_id == job_id:
+                return record
+        raise KeyError(f"no completed record for job {job_id}")
+
+
+def trim_warmup(
+    records: list[CompletedJob] | tuple[CompletedJob, ...],
+    *,
+    warmup_fraction: float = 0.1,
+    cooldown_fraction: float = 0.0,
+) -> list[CompletedJob]:
+    """Drop the first/last fractions of records by submission order.
+
+    Standard steady-state methodology: the simulated machine starts empty
+    (early jobs see an unrealistically idle system) and drains at the end
+    (late jobs see an emptying queue).  Trimming by *submission order*
+    keeps the job population unbiased within the retained window.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise SimulationError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    if not 0.0 <= cooldown_fraction < 1.0:
+        raise SimulationError(
+            f"cooldown_fraction must be in [0, 1), got {cooldown_fraction}"
+        )
+    if warmup_fraction + cooldown_fraction >= 1.0:
+        raise SimulationError("warmup + cooldown fractions must leave some jobs")
+    ordered = sorted(records, key=lambda r: (r.job.submit_time, r.job.job_id))
+    n = len(ordered)
+    lo = int(n * warmup_fraction)
+    hi = n - int(n * cooldown_fraction)
+    return ordered[lo:hi]
+
+
+def summarize(
+    records: list[CompletedJob] | tuple[CompletedJob, ...],
+    *,
+    utilization: float = math.nan,
+    makespan: float | None = None,
+) -> RunMetrics:
+    """Aggregate completed-job records into a :class:`RunMetrics`."""
+    records = tuple(records)
+    by_category: dict[Category, list[CompletedJob]] = {c: [] for c in Category}
+    by_quality: dict[EstimateQuality, list[CompletedJob]] = {
+        q: [] for q in EstimateQuality
+    }
+    for record in records:
+        by_category[record.category].append(record)
+        by_quality[record.estimate_quality].append(record)
+
+    span = 0.0
+    if records:
+        span = max(r.finish_time for r in records) - min(
+            r.job.submit_time for r in records
+        )
+    return RunMetrics(
+        overall=MetricSummary.of(list(records)),
+        by_category={c: MetricSummary.of(v) for c, v in by_category.items()},
+        by_estimate_quality={q: MetricSummary.of(v) for q, v in by_quality.items()},
+        utilization=utilization,
+        makespan=makespan if makespan is not None else span,
+        records=records,
+    )

@@ -1,0 +1,31 @@
+"""Preemptive (suspension-based) scheduling.
+
+Reproduces the core mechanism of the paper's reference [6] — Kettimuthu,
+Subramani, Srinivasan, Gopalsamy & Sadayappan, *Selective preemption
+strategies for parallel job scheduling* (ICPP 2002): a waiting job whose
+expansion factor has grown far beyond that of some running jobs may
+*suspend* them, take their processors, and let them resume later.
+
+The subpackage has its own engine because preemption breaks the
+run-to-completion assumption of :mod:`repro.sim`: jobs execute in
+intervals, finish events can be invalidated by a suspension, and the
+metric records carry the suspension history.
+"""
+
+from repro.preempt.records import PreemptedJob, summarize_preemptive
+from repro.preempt.scheduler import (
+    RunningView,
+    SelectiveSuspensionScheduler,
+    SuspendDecision,
+)
+from repro.preempt.engine import PreemptiveSimulator, PreemptiveResult
+
+__all__ = [
+    "PreemptedJob",
+    "summarize_preemptive",
+    "RunningView",
+    "SelectiveSuspensionScheduler",
+    "SuspendDecision",
+    "PreemptiveSimulator",
+    "PreemptiveResult",
+]

@@ -1,0 +1,259 @@
+"""The preemptive simulation engine.
+
+Differences from :class:`repro.sim.engine.Simulator`:
+
+* a running job can be *suspended*: its processors are released, its
+  remaining work is recorded, and it goes back to the waiting pool;
+* finish events carry an *epoch* so a suspension invalidates the finish
+  event scheduled at the job's previous resume (the event queue does not
+  support removal — stale epochs are simply ignored);
+* the scheduler is a policy object returning a
+  :class:`~repro.preempt.scheduler.SuspendDecision` (starts + suspends)
+  from a global view of the waiting and running sets.
+
+Per batch of same-timestamp events the engine releases all completions,
+admits all arrivals, then runs the decision loop until the policy has
+nothing more to do (bounded by an iteration cap — a correct policy
+converges because preemption criteria are monotone).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Machine
+from repro.errors import SchedulingError, SimulationError
+from repro.preempt.records import PreemptedJob, summarize_preemptive
+from repro.preempt.scheduler import RunningView, SelectiveSuspensionScheduler
+from repro.metrics.collector import RunMetrics
+from repro.workload.job import Job, Workload
+
+__all__ = ["PreemptiveSimulator", "PreemptiveResult"]
+
+_FINISH = 0
+_ARRIVAL = 1
+_TICK = 2
+
+
+@dataclass(frozen=True)
+class PreemptiveResult:
+    """Outcome of one preemptive run."""
+
+    workload_name: str
+    scheduler_name: str
+    metrics: RunMetrics
+    records: tuple[PreemptedJob, ...] = field(repr=False)
+    total_suspensions: int = 0
+
+    def start_times(self) -> dict[int, float]:
+        return {r.job.job_id: r.first_start for r in self.records}
+
+
+class PreemptiveSimulator:
+    """Drives one workload through a suspension-based policy."""
+
+    #: Safety bound on decision-loop iterations per event batch.
+    MAX_DECISION_ROUNDS = 10_000
+
+    def __init__(
+        self,
+        workload: Workload,
+        scheduler: SelectiveSuspensionScheduler,
+        *,
+        decision_interval: float = 300.0,
+        suspension_overhead: float = 0.0,
+    ) -> None:
+        """``decision_interval``: while jobs wait, the policy is re-run at
+        least this often even with no completions or arrivals — expansion
+        factors grow with wall-clock time, so suspension eligibility can
+        appear between job events (unlike reservation-based schedulers,
+        whose decision points always coincide with events).
+
+        ``suspension_overhead``: wall-clock seconds each suspension adds
+        to the victim's remaining execution (state save + restore).  The
+        paper's suspension-in-place variant is 0; checkpoint-to-disk
+        schemes cost minutes."""
+        if decision_interval <= 0:
+            raise SimulationError(
+                f"decision_interval must be > 0, got {decision_interval}"
+            )
+        if suspension_overhead < 0:
+            raise SimulationError(
+                f"suspension_overhead must be >= 0, got {suspension_overhead}"
+            )
+        self.workload = workload
+        self.scheduler = scheduler
+        self.decision_interval = decision_interval
+        self.suspension_overhead = suspension_overhead
+        self._tick_pending = False
+        self.machine = Machine(workload.max_procs)
+        self.clock = 0.0
+        self._heap: list[tuple[tuple[float, int, int], Job | None, int]] = []
+        self._counter = itertools.count()
+        self._waiting: list[Job] = []
+        self._running: dict[int, Job] = {}
+        self._remaining: dict[int, float] = {}
+        self._last_start: dict[int, float] = {}
+        self._epoch: dict[int, int] = {}
+        self._intervals: dict[int, list[tuple[float, float]]] = {}
+        self._records: list[PreemptedJob] = []
+        self._suspensions = 0
+        self._ran = False
+
+    def _push(self, time: float, kind: int, job: Job | None, epoch: int) -> None:
+        heapq.heappush(self._heap, ((time, kind, next(self._counter)), job, epoch))
+
+    # -- state transitions ------------------------------------------------------
+
+    def _start(self, job: Job) -> None:
+        """Start or resume a waiting job."""
+        try:
+            self._waiting.remove(job)
+        except ValueError:
+            raise SchedulingError(
+                f"policy started job {job.job_id} which is not waiting"
+            ) from None
+        self.machine.allocate(job, self.clock)
+        self._running[job.job_id] = job
+        self._last_start[job.job_id] = self.clock
+        epoch = self._epoch.get(job.job_id, 0) + 1
+        self._epoch[job.job_id] = epoch
+        remaining = self._remaining.setdefault(job.job_id, job.effective_runtime)
+        self._push(self.clock + remaining, _FINISH, job, epoch)
+
+    def _suspend(self, job: Job) -> None:
+        """Suspend a running job back into the waiting pool."""
+        if self._running.pop(job.job_id, None) is None:
+            raise SchedulingError(
+                f"policy suspended job {job.job_id} which is not running"
+            )
+        self.machine.release(job, self.clock)
+        started = self._last_start[job.job_id]
+        if self.clock <= started:
+            raise SchedulingError(
+                f"job {job.job_id} suspended the instant it started — "
+                "the policy is thrashing"
+            )
+        self._intervals.setdefault(job.job_id, []).append((started, self.clock))
+        # The suspension's save/restore cost is charged to the victim's
+        # remaining execution time.
+        self._remaining[job.job_id] -= self.clock - started
+        self._remaining[job.job_id] += self.suspension_overhead
+        self._epoch[job.job_id] += 1  # invalidate the pending finish event
+        self._waiting.append(job)
+        self._suspensions += 1
+
+    def _executed(self, job: Job) -> float:
+        """Wall-clock work done so far (past intervals + the current run)."""
+        past = sum(
+            end - start for start, end in self._intervals.get(job.job_id, [])
+        )
+        if job.job_id in self._running:
+            past += self.clock - self._last_start[job.job_id]
+        return past
+
+    def _finish(self, job: Job) -> None:
+        self.machine.release(job, self.clock)
+        del self._running[job.job_id]
+        started = self._last_start[job.job_id]
+        self._intervals.setdefault(job.job_id, []).append((started, self.clock))
+        self._remaining[job.job_id] = 0.0
+        self._records.append(
+            PreemptedJob(
+                job,
+                tuple(self._intervals[job.job_id]),
+                overhead_per_suspension=self.suspension_overhead,
+            )
+        )
+
+    # -- the decision loop -----------------------------------------------------------
+
+    def _run_decisions(self) -> None:
+        for _ in range(self.MAX_DECISION_ROUNDS):
+            # Jobs started at this very instant are marked unsuspendable:
+            # suspending a zero-elapsed job would thrash (and record an
+            # empty interval).  They still appear in the view because the
+            # backfilling shadow must account for their processors.
+            running_view = [
+                RunningView(
+                    job=job,
+                    estimated_finish=self.clock
+                    + max(job.estimate - self._executed(job), 1e-9),
+                    suspendable=self._last_start[job.job_id] < self.clock,
+                )
+                for job in self._running.values()
+            ]
+            decision = self.scheduler.decide(
+                self.clock,
+                list(self._waiting),
+                running_view,
+                self.machine.free_procs,
+            )
+            if not decision.starts and not decision.suspends:
+                return
+            for victim in decision.suspends:
+                self._suspend(victim)
+            for job in decision.starts:
+                self._start(job)
+        raise SchedulingError(
+            f"{self.scheduler.name}: decision loop did not converge within "
+            f"{self.MAX_DECISION_ROUNDS} rounds at t={self.clock}"
+        )
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self) -> PreemptiveResult:
+        if self._ran:
+            raise SimulationError("a PreemptiveSimulator instance can only run once")
+        self._ran = True
+
+        for job in self.workload:
+            self._push(job.submit_time, _ARRIVAL, job, 0)
+
+        while self._heap:
+            batch_time = self._heap[0][0][0]
+            self.clock = max(self.clock, batch_time)
+            batch = []
+            while self._heap and self._heap[0][0][0] == batch_time:
+                key, job, epoch = heapq.heappop(self._heap)
+                batch.append((key[1], job, epoch))
+
+            for kind, job, epoch in batch:
+                if kind == _FINISH:
+                    assert job is not None
+                    if self._epoch.get(job.job_id) != epoch:
+                        continue  # stale: the job was suspended meanwhile
+                    if job.job_id not in self._running:
+                        continue
+                    self._finish(job)
+            for kind, job, _epoch in batch:
+                if kind == _ARRIVAL:
+                    assert job is not None
+                    self._waiting.append(job)
+                elif kind == _TICK:
+                    self._tick_pending = False
+            self._run_decisions()
+            if self._waiting and not self._tick_pending:
+                self._tick_pending = True
+                self._push(
+                    self.clock + self.decision_interval, _TICK, None, 0
+                )
+
+        if len(self._records) != len(self.workload):
+            stuck = [j.job_id for j in self._waiting]
+            raise SchedulingError(
+                f"preemptive run completed {len(self._records)} of "
+                f"{len(self.workload)} jobs (waiting: {stuck[:10]})"
+            )
+        metrics = summarize_preemptive(
+            self._records, utilization=self.machine.utilization()
+        )
+        return PreemptiveResult(
+            workload_name=self.workload.name,
+            scheduler_name=self.scheduler.describe(),
+            metrics=metrics,
+            records=tuple(self._records),
+            total_suspensions=self._suspensions,
+        )

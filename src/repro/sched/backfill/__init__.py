@@ -1,0 +1,13 @@
+"""Scheduling disciplines: no-backfill, conservative, EASY, selective."""
+
+from repro.sched.backfill.nobf import FCFSScheduler
+from repro.sched.backfill.conservative import ConservativeScheduler
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.backfill.selective import SelectiveScheduler
+
+__all__ = [
+    "FCFSScheduler",
+    "ConservativeScheduler",
+    "EasyScheduler",
+    "SelectiveScheduler",
+]

@@ -1,0 +1,158 @@
+"""Multi-queue (class-based) scheduling: the pre-backfilling alternative.
+
+Before backfilling became standard, production centers (including the
+CTC's LoadLeveler configuration the paper's trace comes from) controlled
+long-job monopolization with *job classes*: separate queues by estimated
+runtime, each capped at a share of the machine.  A short job never waits
+behind a long one because they live in different queues; the cost is
+internal fragmentation of the caps.
+
+:class:`MultiQueueScheduler` implements that discipline: queues are
+defined by ascending estimate boundaries, each with a processor cap;
+within a queue service is strict FCFS (by the configured priority), and a
+blocked queue head blocks only *its own class*.  Caps may oversubscribe
+the machine (sharing) or partition it exactly (isolation).
+
+This is a baseline for the paper's story, not a backfilling scheme: it
+shows what the job classes achieve on the SW/LN categories *without*
+moving any job past another, so the gain backfilling adds on top is
+visible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.sched.base import Scheduler
+from repro.workload.job import Job
+
+__all__ = ["MultiQueueScheduler", "QueueClass"]
+
+
+class QueueClass:
+    """One job class: estimates up to ``max_estimate``, capped processors."""
+
+    __slots__ = ("name", "max_estimate", "proc_cap")
+
+    def __init__(self, name: str, max_estimate: float, proc_cap: int) -> None:
+        if max_estimate <= 0:
+            raise ConfigurationError(
+                f"class {name!r}: max_estimate must be > 0, got {max_estimate}"
+            )
+        if proc_cap <= 0:
+            raise ConfigurationError(
+                f"class {name!r}: proc_cap must be > 0, got {proc_cap}"
+            )
+        self.name = name
+        self.max_estimate = max_estimate
+        self.proc_cap = proc_cap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueueClass({self.name!r}, <= {self.max_estimate}s, cap {self.proc_cap})"
+
+
+class MultiQueueScheduler(Scheduler):
+    """Class-based queues with per-class processor caps (see module docs).
+
+    ``classes`` must be ordered by ascending ``max_estimate``; the last
+    class's bound is treated as infinite so every job has a home.  The
+    default configuration mirrors a typical three-class SP2 setup scaled
+    to the machine at bind time: short (<= 1 h) may use the whole machine,
+    medium (<= 6 h) half, long the remaining half.
+    """
+
+    name = "MQ"
+
+    def __init__(self, priority=None, *, classes: list[QueueClass] | None = None) -> None:
+        super().__init__(priority)
+        self._explicit_classes = classes
+        self.classes: list[QueueClass] = classes or []
+        if classes:
+            self._validate_classes(classes)
+
+    @staticmethod
+    def _validate_classes(classes: list[QueueClass]) -> None:
+        if not classes:
+            raise ConfigurationError("at least one queue class is required")
+        bounds = [c.max_estimate for c in classes]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigurationError(
+                "queue classes must have strictly ascending max_estimate"
+            )
+
+    def reset(self) -> None:
+        if self._explicit_classes is None:
+            # Non-rejecting defaults: the catch-all class spans the machine
+            # so no job is unschedulable; the medium class is mildly capped
+            # (the isolation a site wants comes from explicit classes).
+            total = self._machine().total_procs
+            self.classes = [
+                QueueClass("short", 3_600.0, total),
+                QueueClass("medium", 21_600.0, max(3 * total // 4, 1)),
+                QueueClass("long", math.inf, total),
+            ]
+
+    # -- internals ------------------------------------------------------------
+
+    def class_of(self, job: Job) -> int:
+        """Class index for a job: by estimate, escalating past narrow caps.
+
+        The job joins the first class whose estimate bound admits it *and*
+        whose processor cap can ever fit it; a job wider than its natural
+        class's cap escalates to the next (longer) class rather than
+        head-blocking a queue it can never run in.  A job no class can fit
+        is a configuration error (production sites reject the submission).
+        """
+        base = None
+        for index, cls in enumerate(self.classes):
+            if job.estimate <= cls.max_estimate or index == len(self.classes) - 1:
+                base = index
+                break
+        assert base is not None
+        for index in range(base, len(self.classes)):
+            if job.procs <= self.classes[index].proc_cap:
+                return index
+        raise ConfigurationError(
+            f"job {job.job_id} ({job.procs} procs, est {job.estimate}s) is "
+            "wider than every eligible class cap"
+        )
+
+    def _class_usage(self) -> list[int]:
+        usage = [0] * len(self.classes)
+        for job, _ in self._running.values():
+            usage[self.class_of(job)] += job.procs
+        return usage
+
+    def _schedule_pass(self, now: float) -> list[Job]:
+        machine = self._machine()
+        free = machine.free_procs
+        usage = self._class_usage()
+        started: list[Job] = []
+
+        per_class: list[list[Job]] = [[] for _ in self.classes]
+        for job in self._ordered_queue(now):
+            per_class[self.class_of(job)].append(job)
+
+        for index, queue in enumerate(per_class):
+            cap = self.classes[index].proc_cap
+            for job in queue:
+                if job.procs > free or usage[index] + job.procs > cap:
+                    break  # this class's head blocks only this class
+                self._dequeue(job)
+                started.append(job)
+                free -= job.procs
+                usage[index] += job.procs
+        return started
+
+    # -- scheduler API ------------------------------------------------------------
+
+    def poke(self, now: float) -> list[Job]:
+        return self._schedule_pass(now)
+
+    def on_arrival(self, job: Job, now: float) -> list[Job]:
+        self._enqueue(job)
+        return self._schedule_pass(now)
+
+    def on_finish(self, job: Job, now: float) -> list[Job]:
+        return self._schedule_pass(now)

@@ -1,0 +1,186 @@
+"""Scheduler base class: the contract between schedulers and the simulator.
+
+A scheduler owns the idle queue.  The simulator calls :meth:`on_arrival`
+when a job is submitted and :meth:`on_finish` when a running job releases
+its processors; both return the (ordered) list of jobs to start *right now*.
+The simulator performs the actual allocation, so schedulers make decisions
+against a read-only view of the machine and their own bookkeeping.
+
+Schedulers never see a job's actual runtime — all planning uses
+``job.estimate`` — which is exactly the information asymmetry the paper
+studies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cluster.machine import Machine
+from repro.errors import SchedulingError
+from repro.sched.priority.policies import FCFSPriority, PriorityPolicy
+from repro.workload.job import Job
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling disciplines.
+
+    Subclasses implement :meth:`on_arrival` and :meth:`on_finish`.  The base
+    class provides queue storage, binding to a machine, and bookkeeping that
+    the simulator's invariant checks rely on.
+    """
+
+    #: Short name for reports ("FCFS-nobf", "conservative", "EASY", ...).
+    name: str = "scheduler"
+
+    #: Advance reservations this scheduler plans around (profile-based
+    #: disciplines override their constructor to accept them).  The
+    #: simulator reads this to install the machine-side capacity blocks.
+    advance_reservations: tuple = ()
+
+    #: True only for disciplines whose planning honours a hard future
+    #: rectangle; the simulator rejects ARs on anything else.
+    supports_advance_reservations: bool = False
+
+    def __init__(self, priority: PriorityPolicy | None = None) -> None:
+        self.priority: PriorityPolicy = priority or FCFSPriority()
+        self.machine: Machine | None = None
+        self._queue: list[Job] = []
+        self._running: dict[int, tuple[Job, float]] = {}  # id -> (job, start)
+        self._request_wakeup = None  # set by bind(); Callable[[float], None]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def bind(self, machine: Machine, request_wakeup=None) -> None:
+        """Attach the scheduler to a machine before simulation starts.
+
+        ``request_wakeup(time)``, when provided by the simulator, schedules
+        a TIMER event so the scheduler is re-invoked (via :meth:`on_wakeup`)
+        at ``time`` even if no arrival or completion falls on it.  Schedulers
+        whose decisions only ever take effect at job events can ignore it.
+        """
+        self.machine = machine
+        self._request_wakeup = request_wakeup
+        self._queue.clear()
+        self._running.clear()
+        # Stateful priority policies (e.g. fair-share usage tracking) are
+        # reset per run so a scheduler instance can be reused.
+        if hasattr(self.priority, "reset"):
+            self.priority.reset()
+        self.reset()
+
+    def reset(self) -> None:
+        """Hook for subclasses to clear their own state on bind()."""
+
+    def request_wakeup(self, time: float) -> None:
+        """Ask the simulator for a TIMER event at ``time`` (no-op unbound)."""
+        if self._request_wakeup is not None:
+            self._request_wakeup(time)
+
+    def on_wakeup(self, now: float) -> list[Job]:
+        """Handle a requested TIMER event; return jobs to start now."""
+        return []
+
+    def cancel(self, job: Job, now: float) -> None:
+        """Withdraw a *queued* job.  Withdraw-only — NO scheduling pass.
+
+        Used by grid metaschedulers that submit a job to several sites and
+        cancel the losers once one site starts it.  Subclasses holding
+        per-job planning state (reservations, deadlines) must override and
+        clean it up.  Deliberately side-effect-free beyond state cleanup:
+        the caller invokes :meth:`poke` once all simultaneous withdrawals
+        are done, so a cancellation cascade can never start a job whose
+        replica was already committed elsewhere.
+        """
+        self._dequeue(job)
+
+    def poke(self, now: float) -> list[Job]:
+        """Run a scheduling pass outside the normal event hooks.
+
+        Grid engines call this after a batch of :meth:`cancel`
+        withdrawals; a freed slot may let queued jobs start.  The base
+        implementation starts nothing.
+        """
+        return []
+
+    # -- simulator-facing API ---------------------------------------------------
+
+    @abstractmethod
+    def on_arrival(self, job: Job, now: float) -> list[Job]:
+        """Handle a submission; return jobs to start now (ordered)."""
+
+    @abstractmethod
+    def on_finish(self, job: Job, now: float) -> list[Job]:
+        """Handle a completion; return jobs to start now (ordered)."""
+
+    def notify_started(self, job: Job, now: float) -> None:
+        """Called by the simulator after it allocates a job this scheduler
+        returned.  Subclasses needing extra bookkeeping must call super()."""
+        self._running[job.job_id] = (job, now)
+
+    def notify_finished(self, job: Job, now: float) -> None:
+        """Called by the simulator after it releases a finished job."""
+        if self._running.pop(job.job_id, None) is None:
+            raise SchedulingError(
+                f"{self.name}: finish notification for job {job.job_id} "
+                "which is not running"
+            )
+        # Feed stateful priority policies (fair-share usage accounting).
+        observe = getattr(self.priority, "observe_finish", None)
+        if observe is not None:
+            observe(job, now)
+
+    # -- shared queue helpers ---------------------------------------------------
+
+    @property
+    def queued_jobs(self) -> tuple[Job, ...]:
+        """Snapshot of the idle queue (unspecified order)."""
+        return tuple(self._queue)
+
+    @property
+    def running_jobs(self) -> tuple[tuple[Job, float], ...]:
+        """Snapshot of running jobs as (job, start_time) pairs."""
+        return tuple(self._running.values())
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _enqueue(self, job: Job) -> None:
+        self._queue.append(job)
+
+    def _dequeue(self, job: Job) -> None:
+        try:
+            self._queue.remove(job)
+        except ValueError:
+            raise SchedulingError(
+                f"{self.name}: job {job.job_id} is not in the idle queue"
+            ) from None
+
+    def _ordered_queue(self, now: float) -> list[Job]:
+        """The idle queue in priority order at time ``now``."""
+        return self.priority.sort(self._queue, now)
+
+    def _machine(self) -> Machine:
+        if self.machine is None:
+            raise SchedulingError(f"{self.name}: scheduler is not bound to a machine")
+        return self.machine
+
+    def estimated_finish(self, job_id: int) -> float:
+        """Estimated completion time of a running job (start + estimate)."""
+        try:
+            job, start = self._running[job_id]
+        except KeyError:
+            raise SchedulingError(f"job {job_id} is not running") from None
+        return start + job.estimate
+
+    def describe(self) -> str:
+        """Human-readable identity, e.g. ``EASY(SJF)``."""
+        return f"{self.name}({self.priority.name})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.describe()} queue={len(self._queue)} "
+            f"running={len(self._running)}>"
+        )

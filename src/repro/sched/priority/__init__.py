@@ -1,0 +1,27 @@
+"""Queue priority policies."""
+
+from repro.sched.priority.policies import (
+    PriorityPolicy,
+    FCFSPriority,
+    SJFPriority,
+    LJFPriority,
+    XFactorPriority,
+    SmallestFirstPriority,
+    CompositePriority,
+    policy_by_name,
+    PRIORITY_POLICIES,
+)
+from repro.sched.priority.fairshare import FairSharePriority
+
+__all__ = [
+    "PriorityPolicy",
+    "FCFSPriority",
+    "SJFPriority",
+    "LJFPriority",
+    "XFactorPriority",
+    "SmallestFirstPriority",
+    "CompositePriority",
+    "FairSharePriority",
+    "policy_by_name",
+    "PRIORITY_POLICIES",
+]

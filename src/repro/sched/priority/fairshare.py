@@ -1,0 +1,99 @@
+"""Fair-share priority: throttle users who recently consumed a lot.
+
+Production schedulers (Maui/Moab, Slurm) blend queue priority with a
+*fair-share* term so a single user cannot monopolize the machine by
+submitting in bulk.  This policy implements the decayed-usage form: each
+user's consumed processor-seconds decay exponentially with half-life
+``half_life``; the priority of a waiting job is its base policy key,
+penalized by its user's current decayed usage share.
+
+The policy is stateful (usage accrues as jobs finish), so the scheduler
+must feed it completions: every scheduler built on
+:class:`repro.sched.base.Scheduler` calls ``priority.observe_finish`` if
+the policy exposes it — see :meth:`FairSharePriority.observe_finish`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sched.priority.policies import FCFSPriority, PriorityPolicy
+from repro.workload.job import Job
+
+__all__ = ["FairSharePriority"]
+
+
+class FairSharePriority(PriorityPolicy):
+    """Base priority penalized by the submitting user's decayed usage.
+
+    ``weight`` scales how strongly usage share displaces the base order:
+    the sort key is ``(usage_share * weight, *base_key)``, so with
+    weight > 0 a heavy user's jobs sort behind light users' jobs whose
+    base keys would otherwise tie or lose.
+    """
+
+    name = "FAIR"
+
+    def __init__(
+        self,
+        base: PriorityPolicy | None = None,
+        *,
+        half_life: float = 86_400.0,
+        weight: float = 1.0,
+    ) -> None:
+        if half_life <= 0:
+            raise ConfigurationError(f"half_life must be > 0, got {half_life}")
+        if weight < 0:
+            raise ConfigurationError(f"weight must be >= 0, got {weight}")
+        self.base = base or FCFSPriority()
+        self.half_life = half_life
+        self.weight = weight
+        self._usage: dict[int, float] = {}  # user -> decayed proc-seconds
+        self._last_decay = 0.0
+
+    # -- usage bookkeeping ------------------------------------------------------
+
+    def _decay_to(self, now: float) -> None:
+        if now <= self._last_decay:
+            return
+        factor = 0.5 ** ((now - self._last_decay) / self.half_life)
+        for user in list(self._usage):
+            decayed = self._usage[user] * factor
+            if decayed < 1e-9:
+                del self._usage[user]
+            else:
+                self._usage[user] = decayed
+        self._last_decay = now
+
+    def observe_finish(self, job: Job, now: float) -> None:
+        """Record a completed job's consumption against its user."""
+        self._decay_to(now)
+        self._usage[job.user_id] = self._usage.get(job.user_id, 0.0) + job.area
+
+    def usage_share(self, user_id: int, now: float) -> float:
+        """User's fraction of the total decayed usage (0 when idle)."""
+        self._decay_to(now)
+        total = sum(self._usage.values())
+        if total <= 0:
+            return 0.0
+        return self._usage.get(user_id, 0.0) / total
+
+    def reset(self) -> None:
+        """Forget all usage (called when a scheduler rebinds)."""
+        self._usage.clear()
+        self._last_decay = 0.0
+
+    # -- PriorityPolicy -----------------------------------------------------------
+
+    def key(self, job: Job, now: float) -> tuple:
+        share = self.usage_share(job.user_id, now)
+        return (share * self.weight, *self.base.key(job, now))
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True  # usage decays with time
+
+    def __repr__(self) -> str:
+        return (
+            f"FairSharePriority(base={self.base!r}, half_life={self.half_life}, "
+            f"weight={self.weight})"
+        )

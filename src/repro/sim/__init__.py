@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate.
+
+A minimal but complete event-driven core: a priority event queue with
+deterministic tie-breaking (:mod:`repro.sim.events`), the simulation engine
+that advances virtual time and drives a scheduler (:mod:`repro.sim.engine`),
+and an optional audit trace of every event (:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.engine import Simulator, SimulationResult
+from repro.sim.trace import EventTrace, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Simulator",
+    "SimulationResult",
+    "EventTrace",
+    "TraceRecord",
+]

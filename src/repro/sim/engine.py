@@ -1,0 +1,281 @@
+"""The simulation engine.
+
+:class:`Simulator` replays a :class:`~repro.workload.job.Workload` through a
+:class:`~repro.sched.base.Scheduler` on a
+:class:`~repro.cluster.machine.Machine` and returns a
+:class:`SimulationResult` holding every job's outcome plus run-level
+accounting.
+
+Event protocol (see :mod:`repro.sim.events` for the tie-breaking rules):
+
+* ``JOB_ARRIVAL`` — the scheduler's :meth:`on_arrival` runs and returns
+  jobs to start immediately;
+* ``JOB_FINISH`` — processors are released first, then :meth:`on_finish`
+  runs (so freed processors are startable in the same instant).
+
+A job started at time *t* finishes at ``t + job.effective_runtime``: jobs
+are killed at their wall-clock limit (``estimate``), matching production
+scheduler semantics, though the standard estimate models never produce
+``estimate < runtime``.
+
+The engine verifies global invariants as it runs (monotone clock, every
+arrival eventually completes, starts only of known queued jobs) and raises
+:class:`~repro.errors.SimulationError` on any violation rather than
+returning corrupt results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import Machine
+from repro.errors import SchedulingError, SimulationError
+from repro.metrics.collector import CompletedJob, RunMetrics, summarize
+from repro.sched.base import Scheduler
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.trace import EventTrace
+from repro.workload.job import Job, Workload
+
+__all__ = ["Simulator", "SimulationResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a single run produced."""
+
+    workload_name: str
+    scheduler_name: str
+    metrics: RunMetrics
+    events_processed: int
+    trace: EventTrace | None = None
+
+    @property
+    def completed(self) -> tuple[CompletedJob, ...]:
+        return self.metrics.records
+
+    def start_times(self) -> dict[int, float]:
+        """job_id -> start time (the schedule itself; used by equivalence tests)."""
+        return {r.job.job_id: r.start_time for r in self.metrics.records}
+
+
+class Simulator:
+    """Drives one scheduler over one workload."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        scheduler: Scheduler,
+        *,
+        trace: EventTrace | None = None,
+    ) -> None:
+        self.workload = workload
+        self.scheduler = scheduler
+        self.machine = Machine(workload.max_procs)
+        self.trace = trace
+        self.clock = 0.0
+        self._events = EventQueue()
+        self._completed: list[CompletedJob] = []
+        self._start_times: dict[int, float] = {}
+        self._pending = 0
+        self._events_processed = 0
+        self._timer_times: set[float] = set()
+        self._blocker_ids: set[int] = set()
+        self._ran = False
+
+    # -- internals ------------------------------------------------------------
+
+    def _record_trace(self, action: str, job: Job) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                self.clock,
+                action,
+                job.job_id,
+                job.procs,
+                self.scheduler.queue_length,
+                self.machine.free_procs,
+            )
+
+    def _start_jobs(self, jobs: list[Job]) -> None:
+        for job in jobs:
+            if job.job_id in self._start_times:
+                raise SimulationError(
+                    f"scheduler tried to start job {job.job_id} twice"
+                )
+            self.machine.allocate(job, self.clock)
+            self._start_times[job.job_id] = self.clock
+            self.scheduler.notify_started(job, self.clock)
+            finish = self.clock + job.effective_runtime
+            self._events.push(Event(finish, EventKind.JOB_FINISH, job))
+            self._record_trace("start", job)
+
+    #: Blocker job ids for advance reservations start here; workload ids
+    #: must stay below.
+    _BLOCKER_ID_BASE = 10**12
+
+    def _install_advance_reservations(self) -> None:
+        """Create machine-side capacity blocks for the scheduler's ARs.
+
+        The scheduler is the single source of truth (its planning profile
+        already avoids the windows); schedulers without planning support
+        cannot honour a hard future rectangle, so declaring ARs on one is
+        rejected here rather than failing as an allocation error mid-run.
+        """
+        reservations = tuple(getattr(self.scheduler, "advance_reservations", ()))
+        if not reservations:
+            return
+        if not getattr(self.scheduler, "supports_advance_reservations", False):
+            raise SimulationError(
+                f"{self.scheduler.name} cannot honour advance reservations — "
+                "only profile-planning disciplines (conservative, selective, "
+                "depth) can pack around a hard future rectangle"
+            )
+        if any(job.job_id >= self._BLOCKER_ID_BASE for job in self.workload):
+            raise SimulationError(
+                f"workload job ids must stay below {self._BLOCKER_ID_BASE} "
+                "when advance reservations are used"
+            )
+        from repro.sched.reservations import validate_reservation_set
+
+        validate_reservation_set(reservations, self.machine.total_procs)
+        for index, ar in enumerate(reservations):
+            blocker = Job(
+                job_id=self._BLOCKER_ID_BASE + index,
+                submit_time=ar.start,
+                runtime=ar.duration,
+                estimate=ar.duration,
+                procs=ar.procs,
+            )
+            self._blocker_ids.add(blocker.job_id)
+            self._events.push(Event(ar.start, EventKind.JOB_ARRIVAL, blocker))
+
+    def _handle_blocker_arrival(self, blocker: Job) -> None:
+        self.machine.allocate(blocker, self.clock)
+        self._events.push(
+            Event(self.clock + blocker.runtime, EventKind.JOB_FINISH, blocker)
+        )
+
+    def _handle_arrival(self, job: Job) -> None:
+        started = self.scheduler.on_arrival(job, self.clock)
+        # Recorded after the scheduler reacted so the trace reflects the
+        # post-event state (queue depth including the job if it queued).
+        self._record_trace("arrive", job)
+        self._start_jobs(started)
+
+    def _request_wakeup(self, time: float) -> None:
+        """Schedule a TIMER event at ``time`` (deduplicated, never in the past)."""
+        when = max(time, self.clock)
+        if when not in self._timer_times:
+            self._timer_times.add(when)
+            self._events.push(Event(when, EventKind.TIMER, None))
+
+    def _handle_timer(self) -> None:
+        self._timer_times.discard(self.clock)
+        started = self.scheduler.on_wakeup(self.clock)
+        self._start_jobs(started)
+
+    def _release_finished(self, job: Job) -> None:
+        """Phase 1 of a completion: release processors, record the outcome.
+
+        Separated from the scheduler reaction so that *all* completions
+        sharing a timestamp release their processors before any scheduling
+        decision runs — real schedulers batch their wakeups the same way,
+        and a reservation anchored at two simultaneous completions must
+        observe both.
+        """
+        start = self._start_times.get(job.job_id)
+        if start is None:
+            raise SimulationError(f"finish event for never-started job {job.job_id}")
+        self.machine.release(job, self.clock)
+        self.scheduler.notify_finished(job, self.clock)
+        self._completed.append(CompletedJob(job, start, self.clock))
+        self._pending -= 1
+        self._record_trace("finish", job)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run to completion and return the result.  Single use."""
+        if self._ran:
+            raise SimulationError("a Simulator instance can only run once")
+        self._ran = True
+
+        self.scheduler.bind(self.machine, self._request_wakeup)
+        self._install_advance_reservations()
+        for job in self.workload:
+            self._events.push(Event(job.submit_time, EventKind.JOB_ARRIVAL, job))
+        self._pending = len(self.workload)
+
+        while self._events:
+            batch_time = self._events.next_time
+            if batch_time < self.clock - 1e-9:
+                raise SimulationError(
+                    f"time went backwards: {self.clock} -> {batch_time}"
+                )
+            self.clock = max(self.clock, batch_time)
+            # Drain every event sharing this timestamp (already kind-ordered:
+            # finishes, then timers, then arrivals).  Events pushed *during*
+            # processing at the same timestamp form the next batch.
+            batch: list[Event] = []
+            while self._events and self._events.next_time == batch_time:
+                batch.append(self._events.pop())
+            self._events_processed += len(batch)
+
+            finishes = [e.job for e in batch if e.kind is EventKind.JOB_FINISH]
+            for job in finishes:
+                assert job is not None
+                if job.job_id in self._blocker_ids:
+                    self.machine.release(job, self.clock)
+                else:
+                    self._release_finished(job)
+            for job in finishes:
+                assert job is not None
+                if job.job_id in self._blocker_ids:
+                    # The scheduler never saw the blocker, but its plan may
+                    # anchor starts at the window's end — poke it.
+                    self._start_jobs(self.scheduler.poke(self.clock))
+                    continue
+                self._start_jobs(self.scheduler.on_finish(job, self.clock))
+            for event in batch:
+                if event.kind is EventKind.TIMER:
+                    self._handle_timer()
+                elif event.kind is EventKind.JOB_ARRIVAL:
+                    assert event.job is not None
+                    if event.job.job_id in self._blocker_ids:
+                        self._handle_blocker_arrival(event.job)
+                    else:
+                        self._handle_arrival(event.job)
+
+        if self._pending != 0:
+            stuck = [j.job_id for j in self.scheduler.queued_jobs]
+            raise SchedulingError(
+                f"simulation drained its events with {self._pending} jobs "
+                f"unfinished (still queued: {stuck[:10]}{'...' if len(stuck) > 10 else ''})"
+            )
+        if len(self._completed) != len(self.workload):
+            raise SimulationError(
+                f"completed {len(self._completed)} of {len(self.workload)} jobs"
+            )
+
+        metrics = summarize(
+            self._completed,
+            utilization=self.machine.utilization(),
+            makespan=self.clock
+            - (self.workload[0].submit_time if len(self.workload) else 0.0),
+        )
+        return SimulationResult(
+            workload_name=self.workload.name,
+            scheduler_name=self.scheduler.describe(),
+            metrics=metrics,
+            events_processed=self._events_processed,
+            trace=self.trace,
+        )
+
+
+def simulate(
+    workload: Workload,
+    scheduler: Scheduler,
+    *,
+    trace: EventTrace | None = None,
+) -> SimulationResult:
+    """One-shot convenience wrapper: build a Simulator and run it."""
+    return Simulator(workload, scheduler, trace=trace).run()

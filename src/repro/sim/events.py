@@ -1,0 +1,99 @@
+"""Events and the event queue.
+
+The simulation is driven by three event kinds:
+
+* ``JOB_FINISH`` — a running job releases its processors;
+* ``TIMER`` — a scheduler-requested wakeup (e.g. a reservation coming due
+  at a time no arrival or completion happens to coincide with);
+* ``JOB_ARRIVAL`` — a job enters the wait queue.
+
+Tie-breaking at equal timestamps is load-bearing for correctness and
+reproducibility: finishes are processed first (so a reservation anchored at
+a completion sees the freed processors), then timers, then arrivals; events
+of the same kind preserve insertion order via a monotone sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.workload.job import Job
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(IntEnum):
+    """Event kinds, ordered by processing priority at equal timestamps."""
+
+    JOB_FINISH = 0
+    TIMER = 1
+    JOB_ARRIVAL = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One scheduled occurrence in virtual time.
+
+    ``job`` is None for TIMER events and required for the job events.
+    """
+
+    time: float
+    kind: EventKind
+    job: Job | None = None
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time):
+            raise SimulationError(f"event time must be finite, got {self.time}")
+        if self.kind is not EventKind.TIMER and self.job is None:
+            raise SimulationError(f"{self.kind.name} events require a job")
+
+    def sort_key(self, seq: int) -> tuple[float, int, int]:
+        return (self.time, int(self.kind), seq)
+
+
+class EventQueue:
+    """A stable min-heap of events ordered by (time, kind, insertion)."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert an event; inserting into the past is a simulation bug."""
+        heapq.heappush(self._heap, (event.sort_key(next(self._counter)), event))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self) -> Event:
+        """Return the earliest event without removing it."""
+        if not self._heap:
+            raise SimulationError("peek at an empty event queue")
+        return self._heap[0][1]
+
+    @property
+    def next_time(self) -> float:
+        """Timestamp of the earliest pending event (inf when empty)."""
+        return self._heap[0][1].time if self._heap else math.inf
+
+    def drain(self) -> Iterator[Event]:
+        """Yield all remaining events in order (consumes the queue)."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,97 @@
+"""Time-series extraction from an event trace.
+
+The :class:`~repro.sim.trace.EventTrace` records queue depth and free
+processors at every arrival/start/finish; these helpers turn that log
+into analyzable step-function series and quick terminal sparklines:
+
+* :func:`queue_depth_series` / :func:`busy_procs_series` — lists of
+  ``(time, value)`` breakpoints;
+* :func:`sample_series` — resample a step series onto a uniform grid
+  (numpy-friendly);
+* :func:`sparkline` — eight-level block rendering for terminals;
+* :func:`time_weighted_mean` — the correct average of a step series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.sim.trace import EventTrace
+
+__all__ = [
+    "queue_depth_series",
+    "busy_procs_series",
+    "sample_series",
+    "sparkline",
+    "time_weighted_mean",
+]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def queue_depth_series(trace: EventTrace) -> list[tuple[float, int]]:
+    """(time, waiting jobs) after every traced event."""
+    if len(trace) == 0:
+        raise ReproError("empty trace")
+    return [(record.time, record.queue_length) for record in trace]
+
+
+def busy_procs_series(trace: EventTrace, total_procs: int) -> list[tuple[float, int]]:
+    """(time, busy processors) after every traced event."""
+    if len(trace) == 0:
+        raise ReproError("empty trace")
+    if total_procs <= 0:
+        raise ReproError(f"total_procs must be > 0, got {total_procs}")
+    return [(record.time, total_procs - record.free_procs) for record in trace]
+
+
+def sample_series(
+    series: list[tuple[float, float]] | list[tuple[float, int]],
+    n_samples: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resample a step series onto ``n_samples`` uniform timestamps.
+
+    The value at each sample is the most recent breakpoint's value
+    (zero-order hold).  Returns (times, values) arrays.
+    """
+    if not series:
+        raise ReproError("empty series")
+    if n_samples < 1:
+        raise ReproError(f"n_samples must be >= 1, got {n_samples}")
+    times = np.array([t for t, _ in series], dtype=float)
+    values = np.array([v for _, v in series], dtype=float)
+    grid = np.linspace(times[0], times[-1], n_samples)
+    indices = np.searchsorted(times, grid, side="right") - 1
+    indices = np.clip(indices, 0, len(values) - 1)
+    return grid, values[indices]
+
+
+def sparkline(
+    series: list[tuple[float, float]] | list[tuple[float, int]],
+    width: int = 60,
+) -> str:
+    """Eight-level block rendering of a (resampled) step series."""
+    _, sampled = sample_series(series, n_samples=width)
+    peak = float(sampled.max())
+    if peak <= 0:
+        return _BLOCKS[0] * width
+    levels = np.minimum(
+        (sampled / peak * (len(_BLOCKS) - 1) + 0.5).astype(int), len(_BLOCKS) - 1
+    )
+    return "".join(_BLOCKS[level] for level in levels)
+
+
+def time_weighted_mean(series: list[tuple[float, float]] | list[tuple[float, int]]) -> float:
+    """Mean of a step function over its span (not the breakpoint average)."""
+    if not series:
+        raise ReproError("empty series")
+    if len(series) == 1:
+        return float(series[0][1])
+    total = 0.0
+    for (t0, v0), (t1, _) in zip(series, series[1:]):
+        total += v0 * (t1 - t0)
+    span = series[-1][0] - series[0][0]
+    if span <= 0:
+        return float(series[0][1])
+    return total / span

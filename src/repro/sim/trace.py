@@ -1,0 +1,73 @@
+"""Optional audit trace of simulation events.
+
+When attached to a :class:`~repro.sim.engine.Simulator`, an
+:class:`EventTrace` records every arrival, start, and finish with its
+timestamp and queue depth — enough to reconstruct the whole schedule, debug
+a scheduler decision, or feed external visualization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TraceRecord", "EventTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    action: str  # "arrive" | "start" | "finish"
+    job_id: int
+    procs: int
+    queue_length: int
+    free_procs: int
+
+
+class EventTrace:
+    """Append-only in-memory trace with an optional size bound."""
+
+    def __init__(self, max_records: int | None = None) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be > 0 or None, got {max_records}")
+        self.max_records = max_records
+        self._records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def record(
+        self,
+        time: float,
+        action: str,
+        job_id: int,
+        procs: int,
+        queue_length: int,
+        free_procs: int,
+    ) -> None:
+        if self.max_records is not None and len(self._records) >= self.max_records:
+            self.dropped += 1
+            return
+        self._records.append(
+            TraceRecord(time, action, job_id, procs, queue_length, free_procs)
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def filter(self, action: str) -> list[TraceRecord]:
+        """Records of one action kind, in time order."""
+        return [r for r in self._records if r.action == action]
+
+    def as_rows(self) -> list[tuple]:
+        """Tuples suitable for CSV export."""
+        return [
+            (r.time, r.action, r.job_id, r.procs, r.queue_length, r.free_procs)
+            for r in self._records
+        ]

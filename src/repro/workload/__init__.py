@@ -1,0 +1,58 @@
+"""Workload substrate: job model, SWF I/O, estimate models, transforms, generators.
+
+The paper drives its simulations with the CTC and SDSC SP2 traces from the
+Parallel Workloads Archive.  This subpackage provides (a) a complete Standard
+Workload Format reader/writer so real archive logs can be used when available,
+and (b) statistical workload generators calibrated to the published
+characteristics of those traces so the experiments are reproducible offline.
+"""
+
+from repro.workload.job import Job, Workload
+from repro.workload.swf import read_swf, write_swf, SWFHeader
+from repro.workload.estimates import (
+    EstimateModel,
+    ExactEstimate,
+    MultiplicativeEstimate,
+    UserEstimateModel,
+    ClampedEstimate,
+)
+from repro.workload.transforms import (
+    scale_load,
+    truncate,
+    filter_jobs,
+    renumber,
+    apply_estimates,
+    shift_to_zero,
+    merge,
+    shake,
+    assign_users,
+)
+from repro.workload.cleaning import Flurry, find_flurries, remove_flurries
+from repro.workload.stats import characterize, characterization_table
+
+__all__ = [
+    "Job",
+    "Workload",
+    "read_swf",
+    "write_swf",
+    "SWFHeader",
+    "EstimateModel",
+    "ExactEstimate",
+    "MultiplicativeEstimate",
+    "UserEstimateModel",
+    "ClampedEstimate",
+    "scale_load",
+    "truncate",
+    "filter_jobs",
+    "renumber",
+    "apply_estimates",
+    "shift_to_zero",
+    "merge",
+    "shake",
+    "assign_users",
+    "Flurry",
+    "find_flurries",
+    "remove_flurries",
+    "characterize",
+    "characterization_table",
+]

@@ -1,0 +1,111 @@
+"""Workload cleaning: flurry detection and removal.
+
+Tsafrir & Feitelson ("Instability in parallel job scheduling simulation:
+the role of workload flurries", in this paper's related-work orbit) showed
+that a single user's burst of hundreds of near-identical submissions — a
+*flurry* — can dominate simulation averages and flip conclusions.  The
+archive distributes "cleaned" trace versions with flurries removed; these
+helpers do the same for any workload:
+
+* :func:`find_flurries` — maximal runs of >= ``threshold`` jobs by one
+  user with consecutive gaps <= ``window`` seconds;
+* :func:`remove_flurries` — drop flurry jobs (keeping the first
+  ``keep_per_flurry`` of each, default 1, so the user's *activity* stays
+  represented while the repetition bias goes away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workload.job import Job, Workload
+
+__all__ = ["Flurry", "find_flurries", "remove_flurries"]
+
+
+@dataclass(frozen=True)
+class Flurry:
+    """One detected burst of submissions by a single user."""
+
+    user_id: int
+    job_ids: tuple[int, ...]
+    start_time: float
+    end_time: float
+
+    @property
+    def size(self) -> int:
+        return len(self.job_ids)
+
+
+def find_flurries(
+    workload: Workload,
+    *,
+    threshold: int = 20,
+    window: float = 600.0,
+) -> list[Flurry]:
+    """Detect per-user submission bursts (see module docstring).
+
+    A burst is a maximal run of one user's jobs in which every consecutive
+    pair is at most ``window`` seconds apart; it is reported as a flurry
+    when it contains at least ``threshold`` jobs.
+    """
+    if threshold < 2:
+        raise ConfigurationError(f"threshold must be >= 2, got {threshold}")
+    if window <= 0:
+        raise ConfigurationError(f"window must be > 0, got {window}")
+
+    by_user: dict[int, list[Job]] = {}
+    for job in workload:
+        by_user.setdefault(job.user_id, []).append(job)
+
+    flurries: list[Flurry] = []
+    for user_id, jobs in by_user.items():
+        if user_id == -1:
+            continue  # unknown users cannot be grouped meaningfully
+        run: list[Job] = []
+        for job in jobs:
+            if run and job.submit_time - run[-1].submit_time > window:
+                if len(run) >= threshold:
+                    flurries.append(_flurry(user_id, run))
+                run = []
+            run.append(job)
+        if len(run) >= threshold:
+            flurries.append(_flurry(user_id, run))
+    flurries.sort(key=lambda f: f.start_time)
+    return flurries
+
+
+def _flurry(user_id: int, run: list[Job]) -> Flurry:
+    return Flurry(
+        user_id=user_id,
+        job_ids=tuple(job.job_id for job in run),
+        start_time=run[0].submit_time,
+        end_time=run[-1].submit_time,
+    )
+
+
+def remove_flurries(
+    workload: Workload,
+    *,
+    threshold: int = 20,
+    window: float = 600.0,
+    keep_per_flurry: int = 1,
+    name: str | None = None,
+) -> tuple[Workload, list[Flurry]]:
+    """Drop flurry jobs; returns (cleaned workload, detected flurries)."""
+    if keep_per_flurry < 0:
+        raise ConfigurationError(
+            f"keep_per_flurry must be >= 0, got {keep_per_flurry}"
+        )
+    flurries = find_flurries(workload, threshold=threshold, window=window)
+    dropped: set[int] = set()
+    for flurry in flurries:
+        dropped.update(flurry.job_ids[keep_per_flurry:])
+    cleaned = Workload(
+        tuple(job for job in workload if job.job_id not in dropped),
+        workload.max_procs,
+        name if name is not None else f"{workload.name}-cln",
+        {**workload.metadata, "flurries_removed": len(flurries)},
+    )
+    return cleaned, flurries

@@ -1,0 +1,29 @@
+"""Synthetic workload generators calibrated to the paper's traces.
+
+The paper uses the CTC SP2 and SDSC SP2 logs from Feitelson's Parallel
+Workloads Archive.  The archive is not available offline, so this subpackage
+provides statistical generators that reproduce the characteristics the
+paper's analysis depends on: machine size, the Short/Long x Narrow/Wide
+category mix (paper Tables 2 and 3), heavy-tailed runtimes, power-of-two
+dominated processor requests, and a controllable offered load.
+"""
+
+from repro.workload.generators.base import (
+    CategoryMix,
+    SyntheticTraceModel,
+    WorkloadGenerator,
+)
+from repro.workload.generators.ctc import CTCGenerator, ctc_model
+from repro.workload.generators.sdsc import SDSCGenerator, sdsc_model
+from repro.workload.generators.lublin import LublinGenerator
+
+__all__ = [
+    "CategoryMix",
+    "SyntheticTraceModel",
+    "WorkloadGenerator",
+    "CTCGenerator",
+    "SDSCGenerator",
+    "LublinGenerator",
+    "ctc_model",
+    "sdsc_model",
+]

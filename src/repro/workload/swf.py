@@ -1,0 +1,277 @@
+"""Standard Workload Format (SWF) reader and writer.
+
+The Parallel Workloads Archive distributes traces — including the CTC SP2 and
+SDSC SP2 logs used by the paper — in SWF: a line-oriented text format with
+``;``-prefixed header comments followed by one job per line with 18
+whitespace-separated numeric fields:
+
+==  =======================  =====================================
+ #  field                    notes
+==  =======================  =====================================
+ 1  job number               positive integer
+ 2  submit time              seconds from log start
+ 3  wait time                seconds (derived; -1 if unknown)
+ 4  run time                 seconds of actual execution
+ 5  allocated processors     -1 if unknown
+ 6  average CPU time used    seconds; -1 if unknown
+ 7  used memory              KB per node; -1 if unknown
+ 8  requested processors     what the user asked for
+ 9  requested time           the user's runtime estimate (seconds)
+10  requested memory         KB per node; -1 if unknown
+11  status                   1 completed, 0 failed, 5 cancelled, -1 unknown
+12  user id                  -1 if unknown
+13  group id                 -1 if unknown
+14  executable id            -1 if unknown
+15  queue number             -1 if unknown
+16  partition number         -1 if unknown
+17  preceding job number     -1 if none
+18  think time               seconds from preceding job; -1 if none
+==  =======================  =====================================
+
+The reader is tolerant of real-archive quirks (missing trailing fields,
+``-1`` placeholders, unsorted submit times) and converts each usable line to
+a :class:`repro.workload.job.Job`.  Jobs with a non-positive runtime or
+processor count (failed submissions) are skipped and counted.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, field
+from typing import TextIO
+
+from repro.errors import SWFFormatError
+from repro.workload.job import Job, Workload
+
+__all__ = ["SWFHeader", "read_swf", "write_swf", "parse_swf_line", "format_swf_line"]
+
+_N_FIELDS = 18
+
+
+@dataclass(slots=True)
+class SWFHeader:
+    """Parsed ``; Key: Value`` header comments from an SWF file.
+
+    Only ``MaxProcs`` is interpreted (it sizes the machine); all pairs are
+    preserved verbatim in :attr:`fields` so writers can round-trip them.
+    """
+
+    fields: dict[str, str] = field(default_factory=dict)
+    comments: list[str] = field(default_factory=list)
+
+    @property
+    def max_procs(self) -> int | None:
+        raw = self.fields.get("MaxProcs")
+        if raw is None:
+            return None
+        try:
+            return int(raw.split()[0])
+        except (ValueError, IndexError):
+            return None
+
+    def set(self, key: str, value: str) -> None:
+        self.fields[key] = value
+
+    def lines(self) -> list[str]:
+        out = [f"; {key}: {value}" for key, value in self.fields.items()]
+        out.extend(f"; {comment}" for comment in self.comments)
+        return out
+
+
+def parse_swf_line(line: str, *, line_number: int | None = None) -> list[float]:
+    """Split one SWF data line into 18 floats, padding missing fields with -1."""
+    parts = line.split()
+    if not parts:
+        raise SWFFormatError("empty data line", line_number=line_number)
+    if len(parts) > _N_FIELDS:
+        raise SWFFormatError(
+            f"expected at most {_N_FIELDS} fields, got {len(parts)}",
+            line_number=line_number,
+        )
+    try:
+        values = [float(p) for p in parts]
+    except ValueError as exc:
+        raise SWFFormatError(f"non-numeric field: {exc}", line_number=line_number) from exc
+    values.extend([-1.0] * (_N_FIELDS - len(values)))
+    return values
+
+
+def _job_from_fields(values: list[float]) -> Job | None:
+    """Convert one parsed SWF record to a Job, or None if unusable.
+
+    Uses requested processors when present, else allocated; uses requested
+    time (the user estimate) when present, else falls back to the actual
+    runtime (exact-estimate assumption, matching common simulator practice).
+    """
+    job_id = int(values[0])
+    submit = values[1]
+    runtime = values[3]
+    allocated = int(values[4])
+    requested_procs = int(values[7])
+    requested_time = values[8]
+
+    procs = requested_procs if requested_procs > 0 else allocated
+    if procs <= 0 or runtime <= 0 or submit < 0 or job_id < 0:
+        return None
+    estimate = requested_time if requested_time > 0 else runtime
+
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        runtime=runtime,
+        estimate=estimate,
+        procs=procs,
+        avg_cpu_time=values[5],
+        used_memory=values[6],
+        requested_memory=values[9],
+        status=int(values[10]),
+        user_id=int(values[11]),
+        group_id=int(values[12]),
+        executable=int(values[13]),
+        queue=int(values[14]),
+        partition=int(values[15]),
+        preceding_job=int(values[16]),
+        think_time=values[17],
+    )
+
+
+def read_swf(
+    source: str | os.PathLike | TextIO,
+    *,
+    max_procs: int | None = None,
+    name: str | None = None,
+    max_jobs: int | None = None,
+) -> Workload:
+    """Read an SWF file (path or open text stream) into a :class:`Workload`.
+
+    ``max_procs`` overrides the header's ``MaxProcs``; one of the two must be
+    available.  ``max_jobs`` truncates the trace after that many usable jobs.
+    Skipped (unusable) job lines are counted in ``workload.metadata["skipped"]``.
+    """
+    if hasattr(source, "read"):
+        stream: TextIO = source  # type: ignore[assignment]
+        default_name = getattr(source, "name", "swf")
+        jobs, header, skipped = _read_stream(stream, max_jobs)
+    else:
+        default_name = os.path.splitext(os.path.basename(os.fspath(source)))[0]
+        with open(source, "r", encoding="utf-8", errors="replace") as fh:
+            jobs, header, skipped = _read_stream(fh, max_jobs)
+
+    procs = max_procs if max_procs is not None else header.max_procs
+    if procs is None:
+        if not jobs:
+            raise SWFFormatError("no MaxProcs header and no jobs to infer size from")
+        procs = max(job.procs for job in jobs)
+    # Clamp requests wider than the machine (some archive logs contain them).
+    clamped = [
+        job if job.procs <= procs else None
+        for job in jobs
+    ]
+    usable = [job for job in clamped if job is not None]
+    skipped += len(jobs) - len(usable)
+
+    workload = Workload.from_jobs(
+        usable,
+        max_procs=procs,
+        name=name or str(default_name),
+        metadata={"skipped": skipped, "swf_header": dict(header.fields)},
+    )
+    return workload
+
+
+def _read_stream(
+    stream: TextIO, max_jobs: int | None
+) -> tuple[list[Job], SWFHeader, int]:
+    header = SWFHeader()
+    jobs: list[Job] = []
+    skipped = 0
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            body = line[1:].strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                key = key.strip()
+                value = value.strip()
+                if key and " " not in key:
+                    header.set(key, value)
+                    continue
+            header.comments.append(body)
+            continue
+        values = parse_swf_line(line, line_number=line_number)
+        job = _job_from_fields(values)
+        if job is None:
+            skipped += 1
+            continue
+        jobs.append(job)
+        if max_jobs is not None and len(jobs) >= max_jobs:
+            break
+    return jobs, header, skipped
+
+
+def format_swf_line(job: Job, *, wait_time: float = -1.0) -> str:
+    """Render one Job as an 18-field SWF data line."""
+
+    def _i(x: float | int) -> str:
+        return str(int(x))
+
+    def _f(x: float) -> str:
+        if x == int(x):
+            return str(int(x))
+        return f"{x:.2f}"
+
+    fields = [
+        _i(job.job_id),
+        _f(job.submit_time),
+        _f(wait_time),
+        _f(job.runtime),
+        _i(job.procs),  # allocated == requested for rigid jobs
+        _f(job.avg_cpu_time),
+        _f(job.used_memory),
+        _i(job.procs),
+        _f(job.estimate),
+        _f(job.requested_memory),
+        _i(job.status),
+        _i(job.user_id),
+        _i(job.group_id),
+        _i(job.executable),
+        _i(job.queue),
+        _i(job.partition),
+        _i(job.preceding_job),
+        _f(job.think_time),
+    ]
+    return " ".join(fields)
+
+
+def write_swf(
+    workload: Workload,
+    destination: str | os.PathLike | TextIO,
+    *,
+    header: SWFHeader | None = None,
+) -> None:
+    """Write a workload as an SWF file (path or open text stream)."""
+    hdr = header or SWFHeader()
+    hdr.set("MaxProcs", str(workload.max_procs))
+    hdr.set("MaxJobs", str(len(workload)))
+    if "Note" not in hdr.fields:
+        hdr.set("Note", f"generated by repro from workload '{workload.name}'")
+
+    def _write(fh: TextIO) -> None:
+        for line in hdr.lines():
+            fh.write(line + "\n")
+        for job in workload:
+            fh.write(format_swf_line(job) + "\n")
+
+    if hasattr(destination, "write"):
+        _write(destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w", encoding="utf-8") as fh:
+            _write(fh)
+
+
+def workload_from_text(text: str, *, max_procs: int | None = None, name: str = "inline") -> Workload:
+    """Parse SWF content from an in-memory string (convenience for tests)."""
+    return read_swf(io.StringIO(text), max_procs=max_procs, name=name)

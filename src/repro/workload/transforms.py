@@ -1,0 +1,289 @@
+"""Workload transformations.
+
+These are the pre-processing steps the paper applies to its traces:
+
+* :func:`scale_load` — "A high load condition was simulated by shrinking the
+  inter-arrival times of jobs" (Section 3).
+* :func:`apply_estimates` — attach a user-estimate model to every job
+  (Sections 4 and 5).
+* :func:`truncate`, :func:`filter_jobs`, :func:`renumber`,
+  :func:`shift_to_zero` — the usual trace hygiene operations (warm-up
+  removal, subsetting, id normalization).
+
+All transforms are pure: they return new :class:`Workload` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.estimates import EstimateModel
+from repro.workload.job import Job, Workload
+
+__all__ = [
+    "scale_load",
+    "apply_estimates",
+    "truncate",
+    "filter_jobs",
+    "renumber",
+    "shift_to_zero",
+    "merge",
+    "shake",
+    "assign_users",
+]
+
+
+def scale_load(workload: Workload, factor: float, *, name: str | None = None) -> Workload:
+    """Multiply all inter-arrival times by ``factor``.
+
+    ``factor < 1`` compresses arrivals and raises the offered load by
+    ``1/factor``; ``factor > 1`` stretches them.  The first job keeps its
+    submit time; runtimes, widths and estimates are untouched, so the work
+    content is identical — only the arrival pressure changes.  This is the
+    paper's high-load transformation.
+    """
+    if factor <= 0:
+        raise ConfigurationError(f"load scale factor must be > 0, got {factor}")
+    if len(workload) == 0:
+        return workload
+
+    origin = workload.jobs[0].submit_time
+    jobs = [
+        job.with_submit_time(origin + (job.submit_time - origin) * factor)
+        for job in workload.jobs
+    ]
+    meta = dict(workload.metadata)
+    meta["load_scale_factor"] = meta.get("load_scale_factor", 1.0) * factor
+    return Workload(
+        tuple(jobs),
+        workload.max_procs,
+        name if name is not None else f"{workload.name}-x{1.0 / factor:.2f}load",
+        meta,
+    )
+
+
+def apply_estimates(
+    workload: Workload,
+    model: EstimateModel,
+    *,
+    seed: int | np.random.Generator = 0,
+    name: str | None = None,
+) -> Workload:
+    """Replace every job's estimate with a draw from ``model``.
+
+    ``seed`` may be an integer (a fresh generator is created, making the
+    transform reproducible) or an existing :class:`numpy.random.Generator`.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    jobs = tuple(model.apply(job, rng) for job in workload.jobs)
+    meta = dict(workload.metadata)
+    meta["estimate_model"] = repr(model)
+    return Workload(
+        jobs,
+        workload.max_procs,
+        name if name is not None else workload.name,
+        meta,
+    )
+
+
+def truncate(
+    workload: Workload,
+    *,
+    max_jobs: int | None = None,
+    skip: int = 0,
+    name: str | None = None,
+) -> Workload:
+    """Drop the first ``skip`` jobs, then keep at most ``max_jobs`` jobs."""
+    if skip < 0:
+        raise ConfigurationError(f"skip must be >= 0, got {skip}")
+    if max_jobs is not None and max_jobs < 0:
+        raise ConfigurationError(f"max_jobs must be >= 0, got {max_jobs}")
+    jobs = workload.jobs[skip:]
+    if max_jobs is not None:
+        jobs = jobs[:max_jobs]
+    return Workload(
+        jobs,
+        workload.max_procs,
+        name if name is not None else workload.name,
+        dict(workload.metadata),
+    )
+
+
+def filter_jobs(
+    workload: Workload,
+    predicate: Callable[[Job], bool],
+    *,
+    name: str | None = None,
+) -> Workload:
+    """Keep only jobs satisfying ``predicate`` (alias of Workload.select)."""
+    return workload.select(predicate, name=name)
+
+
+def renumber(workload: Workload, *, start: int = 1, name: str | None = None) -> Workload:
+    """Re-assign consecutive job ids starting at ``start`` (arrival order)."""
+    jobs = tuple(
+        job.with_job_id(start + index) for index, job in enumerate(workload.jobs)
+    )
+    return Workload(
+        jobs,
+        workload.max_procs,
+        name if name is not None else workload.name,
+        dict(workload.metadata),
+    )
+
+
+def merge(
+    workloads: list[Workload],
+    *,
+    max_procs: int | None = None,
+    name: str = "merged",
+) -> Workload:
+    """Interleave several arrival streams into one workload.
+
+    Jobs are re-sorted by submit time and renumbered consecutively (the
+    source stream index is preserved in each job's ``partition`` field so
+    analyses can still attribute jobs).  ``max_procs`` defaults to the
+    widest of the inputs.
+    """
+    if not workloads:
+        raise ConfigurationError("merge needs at least one workload")
+    procs = max_procs if max_procs is not None else max(w.max_procs for w in workloads)
+    combined = []
+    for stream_index, workload in enumerate(workloads):
+        for job in workload:
+            combined.append(
+                Job(
+                    job_id=0,  # renumbered below
+                    submit_time=job.submit_time,
+                    runtime=job.runtime,
+                    estimate=job.estimate,
+                    procs=job.procs,
+                    user_id=job.user_id,
+                    group_id=job.group_id,
+                    executable=job.executable,
+                    queue=job.queue,
+                    partition=stream_index,
+                    status=job.status,
+                )
+            )
+    combined.sort(key=lambda j: j.submit_time)
+    jobs = tuple(
+        job.with_job_id(index + 1) for index, job in enumerate(combined)
+    )
+    return Workload(
+        jobs,
+        procs,
+        name=name,
+        metadata={"merged_from": [w.name for w in workloads]},
+    )
+
+
+def shake(
+    workload: Workload,
+    *,
+    magnitude: float = 0.1,
+    seed: int | np.random.Generator = 0,
+    name: str | None = None,
+) -> Workload:
+    """Randomly perturb inter-arrival times ("input shaking").
+
+    The related-work methodology of Tsafrir et al. ("Reducing performance
+    evaluation sensitivity and variability by input shaking"): a result
+    that only holds for the exact submit times of one trace is noise, so
+    conclusions are re-checked across an ensemble of workloads whose
+    inter-arrival gaps are multiplied by lognormal factors with the given
+    ``magnitude`` (sigma of the underlying normal).  Work content is
+    untouched; the mean offered load is approximately preserved.
+    """
+    if magnitude < 0:
+        raise ConfigurationError(f"magnitude must be >= 0, got {magnitude}")
+    if len(workload) < 2 or magnitude == 0:
+        return workload
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    gaps = np.diff([job.submit_time for job in workload])
+    # Mean-one lognormal multipliers keep the average gap unbiased.
+    factors = rng.lognormal(mean=-0.5 * magnitude**2, sigma=magnitude, size=len(gaps))
+    new_times = np.concatenate(
+        [[workload[0].submit_time], workload[0].submit_time + np.cumsum(gaps * factors)]
+    )
+    jobs = tuple(
+        job.with_submit_time(float(t)) for job, t in zip(workload.jobs, new_times)
+    )
+    meta = dict(workload.metadata)
+    meta["shaken"] = magnitude
+    return Workload(
+        jobs,
+        workload.max_procs,
+        name if name is not None else f"{workload.name}-shaken",
+        meta,
+    )
+
+
+def assign_users(
+    workload: Workload,
+    *,
+    n_users: int = 10,
+    skew: float = 1.2,
+    seed: int | np.random.Generator = 0,
+    name: str | None = None,
+) -> Workload:
+    """Reassign user ids with a Zipf-like popularity distribution.
+
+    Real traces are dominated by a few heavy users; the synthetic
+    generators assign users uniformly.  This transform draws each job's
+    user from ``P(u) ∝ 1 / u^skew`` over users ``1..n_users`` (user 1 is
+    the hog), which is what fair-share policies are designed to tame.
+    """
+    if n_users < 1:
+        raise ConfigurationError(f"n_users must be >= 1, got {n_users}")
+    if skew < 0:
+        raise ConfigurationError(f"skew must be >= 0, got {skew}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    weights = np.array([1.0 / (u**skew) for u in range(1, n_users + 1)])
+    weights /= weights.sum()
+    assignments = rng.choice(n_users, size=len(workload), p=weights) + 1
+    jobs = tuple(
+        Job(
+            job_id=job.job_id,
+            submit_time=job.submit_time,
+            runtime=job.runtime,
+            estimate=job.estimate,
+            procs=job.procs,
+            user_id=int(user),
+            group_id=job.group_id,
+            executable=job.executable,
+            queue=job.queue,
+            partition=job.partition,
+            status=job.status,
+        )
+        for job, user in zip(workload.jobs, assignments)
+    )
+    meta = dict(workload.metadata)
+    meta["user_skew"] = skew
+    return Workload(
+        jobs,
+        workload.max_procs,
+        name if name is not None else workload.name,
+        meta,
+    )
+
+
+def shift_to_zero(workload: Workload, *, name: str | None = None) -> Workload:
+    """Shift submit times so the first job arrives at t = 0."""
+    if len(workload) == 0:
+        return workload
+    origin = workload.jobs[0].submit_time
+    if origin == 0:
+        return workload
+    jobs = tuple(
+        job.with_submit_time(job.submit_time - origin) for job in workload.jobs
+    )
+    return Workload(
+        jobs,
+        workload.max_procs,
+        name if name is not None else workload.name,
+        dict(workload.metadata),
+    )

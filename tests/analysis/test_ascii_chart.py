@@ -1,0 +1,75 @@
+"""Unit tests for the text chart renderers."""
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_chart import bar_chart, grouped_bar_chart
+from repro.errors import ReproError
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart({"easy": 5.0, "cons": 10.0}, title="t")
+        assert "t" in text
+        assert "easy" in text and "cons" in text
+        assert "10.00" in text
+
+    def test_longest_bar_for_largest_value(self):
+        text = bar_chart({"a": 1.0, "b": 10.0})
+        lines = {line.split()[0]: line.count("#") for line in text.splitlines()}
+        assert lines["b"] > lines["a"]
+
+    def test_negative_values_draw_left_of_axis(self):
+        text = bar_chart({"worse": 50.0, "better": -50.0})
+        for line in text.splitlines():
+            assert "|" in line
+            bar_part, axis, right = line.partition("|")
+            if line.startswith("better"):
+                assert "#" in bar_part and "#" not in right.split()[0] if right.strip() else True
+
+    def test_nan_rendered_as_no_data(self):
+        text = bar_chart({"x": math.nan, "y": 1.0})
+        assert "(no data)" in text
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart({"x": math.nan})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart({"a": 1.0}, width=2)
+
+    def test_unit_suffix(self):
+        assert "%" in bar_chart({"a": 5.0}, unit="%")
+
+    def test_zero_value_draws_empty_bar(self):
+        text = bar_chart({"zero": 0.0, "one": 1.0})
+        zero_line = [l for l in text.splitlines() if l.startswith("zero")][0]
+        assert "#" not in zero_line
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series_present(self):
+        text = grouped_bar_chart(
+            {"CTC": {"easy": 1.0, "cons": 2.0}, "SDSC": {"easy": 3.0, "cons": 4.0}}
+        )
+        assert "CTC:" in text and "SDSC:" in text
+        assert text.count("easy") == 2
+
+    def test_scaling_shared_across_groups(self):
+        text = grouped_bar_chart({"g1": {"s": 1.0}, "g2": {"s": 10.0}})
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            grouped_bar_chart({})
+
+    def test_nan_series_rendered(self):
+        text = grouped_bar_chart({"g": {"a": math.nan, "b": 2.0}})
+        assert "(no data)" in text

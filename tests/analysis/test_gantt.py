@@ -1,0 +1,88 @@
+"""Unit tests for the ASCII Gantt renderers."""
+
+import pytest
+
+from repro.analysis.gantt import gantt, utilization_strip
+from repro.errors import ReproError
+from repro.metrics.collector import CompletedJob
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sim.engine import simulate
+
+from tests.conftest import make_job, make_workload
+
+
+def _records():
+    # Two jobs back to back on a 4-proc machine plus one parallel sliver.
+    return (
+        CompletedJob(make_job(1, submit=0.0, runtime=100.0, procs=4), 0.0, 100.0),
+        CompletedJob(make_job(2, submit=0.0, runtime=50.0, procs=2), 100.0, 150.0),
+        CompletedJob(make_job(3, submit=0.0, runtime=50.0, procs=2), 100.0, 150.0),
+    )
+
+
+class TestUtilizationStrip:
+    def test_full_then_partial(self):
+        strip = utilization_strip(_records(), total_procs=4, width=30)
+        assert len(strip) == 30
+        # First two-thirds fully busy (full blocks), then still fully busy
+        # (2+2 procs), so the whole strip is full blocks.
+        assert set(strip) == {"█"}
+
+    def test_idle_tail_shows_lower_level(self):
+        records = (
+            CompletedJob(make_job(1, submit=0.0, runtime=50.0, procs=4), 0.0, 50.0),
+            CompletedJob(make_job(2, submit=0.0, runtime=100.0, procs=1), 0.0, 100.0),
+        )
+        strip = utilization_strip(records, total_procs=4, width=10)
+        assert strip[0] == "█"
+        assert strip[-1] != "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            utilization_strip((), 4)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ReproError):
+            utilization_strip(_records(), 0)
+        with pytest.raises(ReproError):
+            utilization_strip(_records(), 4, width=0)
+
+
+class TestGantt:
+    def test_rows_match_machine_size(self):
+        chart = gantt(_records(), total_procs=4, width=20)
+        rows = chart.splitlines()
+        assert len(rows) == 5  # 4 processors + legend
+        assert rows[0].startswith("p3")
+        assert rows[3].startswith("p0")
+
+    def test_job_labels_present(self):
+        chart = gantt(_records(), total_procs=4, width=20)
+        assert "1" in chart and "2" in chart and "3" in chart
+
+    def test_idle_cells_are_dots(self):
+        records = (
+            CompletedJob(make_job(1, submit=0.0, runtime=50.0, procs=1), 0.0, 50.0),
+            CompletedJob(make_job(2, submit=0.0, runtime=50.0, procs=1), 100.0, 150.0),
+        )
+        chart = gantt(records, total_procs=2, width=15)
+        assert "." in chart
+
+    def test_renders_real_schedule(self):
+        wl = make_workload(
+            [
+                make_job(i, submit=i * 5.0, runtime=40.0, procs=(i % 3) + 1)
+                for i in range(1, 12)
+            ]
+        )
+        result = simulate(wl, EasyScheduler())
+        chart = gantt(result.completed, wl.max_procs, width=40)
+        assert chart.count("\n") == wl.max_procs  # rows + legend line
+
+    def test_oversubscribed_schedule_rejected(self):
+        records = (
+            CompletedJob(make_job(1, submit=0.0, runtime=50.0, procs=2), 0.0, 50.0),
+            CompletedJob(make_job(2, submit=0.0, runtime=50.0, procs=2), 0.0, 50.0),
+        )
+        with pytest.raises(ReproError, match="oversubscribes"):
+            gantt(records, total_procs=3, width=10)

@@ -1,0 +1,85 @@
+"""Unit tests for the performance heatmaps."""
+
+import pytest
+
+from repro.analysis.heatmap import (
+    job_count_heatmap,
+    render_heatmap,
+    runtime_bucket,
+    slowdown_heatmap,
+    width_bucket,
+)
+from repro.errors import ReproError
+from repro.metrics.collector import CompletedJob
+
+from tests.conftest import make_job
+
+
+def record(job_id, runtime, procs, wait=0.0):
+    job = make_job(job_id, runtime=runtime, procs=procs)
+    return CompletedJob(job, wait, wait + runtime)
+
+
+class TestBuckets:
+    def test_runtime_decades(self):
+        assert runtime_bucket(1.0) == 0
+        assert runtime_bucket(9.9) == 0
+        assert runtime_bucket(10.0) == 1
+        assert runtime_bucket(3600.0) == 3
+        assert runtime_bucket(0.5) == 0  # clamped
+
+    def test_width_powers(self):
+        assert width_bucket(1) == 0
+        assert width_bucket(2) == 1
+        assert width_bucket(3) == 2
+        assert width_bucket(4) == 2
+        assert width_bucket(5) == 3
+        assert width_bucket(128) == 7
+
+
+class TestHeatmaps:
+    def _records(self):
+        return [
+            record(1, runtime=5.0, procs=1),
+            record(2, runtime=5.0, procs=1),
+            record(3, runtime=500.0, procs=16, wait=1000.0),
+        ]
+
+    def test_job_count_cells(self):
+        cells, max_rt, max_w = job_count_heatmap(self._records())
+        assert cells[(0, 0)] == 2.0
+        assert cells[(2, 4)] == 1.0
+        assert max_rt == 2 and max_w == 4
+
+    def test_slowdown_cells_are_means(self):
+        cells, _, _ = slowdown_heatmap(self._records())
+        assert cells[(0, 0)] == pytest.approx(1.0)
+        assert cells[(2, 4)] == pytest.approx((1000.0 + 500.0) / 500.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            job_count_heatmap([])
+
+
+class TestRender:
+    def test_renders_grid_with_labels(self):
+        cells, max_rt, max_w = job_count_heatmap(self._sample())
+        text = render_heatmap(cells, max_rt, max_w, title="counts")
+        assert "counts" in text
+        assert "1e0-1e1s" in text
+        assert "·" in text  # empty cells rendered as dots
+
+    def test_peak_cell_uses_darkest_shade(self):
+        cells = {(0, 0): 100.0, (1, 0): 1.0}
+        text = render_heatmap(cells, 1, 0)
+        assert "@" in text
+
+    def _sample(self):
+        return [
+            record(1, runtime=5.0, procs=1),
+            record(2, runtime=500.0, procs=16),
+        ]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_heatmap({}, 0, 0)

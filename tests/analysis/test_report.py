@@ -1,0 +1,70 @@
+"""Unit tests for the experiment report writer."""
+
+import pytest
+
+from repro.analysis.report import ReportWriter, slugify, write_index, write_report
+from repro.analysis.table import Table
+from repro.errors import ReproError
+from repro.experiments.runner import ExperimentResult
+
+
+def _result(experiment_id="demo"):
+    table = Table(["a", "b"])
+    table.append(1, 2.5)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="Demo experiment",
+        tables={"main table": table},
+        charts={"main chart": "### 3.0\n# 1.0"},
+        findings={"the demo trend holds": True, "a failing trend": False},
+        notes=["a note"],
+    )
+
+
+class TestSlugify:
+    def test_lowercases_and_replaces(self):
+        assert slugify("Main Table (v2)") == "main_table_v2"
+
+    def test_empty_becomes_unnamed(self):
+        assert slugify("***") == "unnamed"
+
+
+class TestWriteReport:
+    def test_writes_markdown_and_csv(self, tmp_path):
+        base = write_report(_result(), tmp_path)
+        report = (base / "report.md").read_text()
+        assert "# demo — Demo experiment" in report
+        assert "main table" in report
+        assert "- [x] the demo trend holds" in report
+        assert "- [ ] a failing trend" in report
+        assert "> a note" in report
+        csv_text = (base / "main_table.csv").read_text()
+        assert csv_text.splitlines()[0] == "a,b"
+
+    def test_index_lists_every_experiment(self, tmp_path):
+        results = [_result("one"), _result("two")]
+        path = write_index(results, tmp_path)
+        index = path.read_text()
+        assert "`one`" in index and "`two`" in index
+        assert "SOME TRENDS FAILED" in index  # our demo has a failing trend
+
+
+class TestReportWriter:
+    def test_accumulates_and_finalizes(self, tmp_path):
+        writer = ReportWriter(tmp_path)
+        writer.add(_result("one"))
+        writer.add(_result("two"))
+        index = writer.finalize()
+        assert index.exists()
+        assert (tmp_path / "one" / "report.md").exists()
+        assert len(writer.results) == 2
+
+    def test_duplicate_rejected(self, tmp_path):
+        writer = ReportWriter(tmp_path)
+        writer.add(_result("one"))
+        with pytest.raises(ReproError, match="already added"):
+            writer.add(_result("one"))
+
+    def test_empty_finalize_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="no experiment"):
+            ReportWriter(tmp_path).finalize()

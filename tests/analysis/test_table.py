@@ -1,0 +1,138 @@
+"""Unit tests for the lightweight column table."""
+
+import math
+
+import pytest
+
+from repro.analysis.table import Table
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def table():
+    t = Table(["trace", "sched", "slowdown"])
+    t.append("CTC", "easy", 5.0)
+    t.append("CTC", "cons", 7.0)
+    t.append("SDSC", "easy", 40.0)
+    t.append("SDSC", "cons", 45.0)
+    return t
+
+
+class TestConstruction:
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ReproError):
+            Table([])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ReproError):
+            Table(["a", "a"])
+
+    def test_append_positional(self, table):
+        assert len(table) == 4
+
+    def test_append_named(self):
+        t = Table(["a", "b"])
+        t.append(b=2, a=1)
+        assert t.rows() == [(1, 2)]
+
+    def test_append_wrong_arity_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ReproError):
+            t.append(1)
+
+    def test_append_wrong_keys_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ReproError, match="mismatch"):
+            t.append(a=1, c=3)
+
+    def test_append_mixed_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ReproError):
+            t.append(1, b=2)
+
+    def test_from_rows(self):
+        t = Table.from_rows(["x"], [[1], [2]])
+        assert t.column("x") == [1, 2]
+
+
+class TestAccess:
+    def test_column(self, table):
+        assert table.column("slowdown") == [5.0, 7.0, 40.0, 45.0]
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(ReproError, match="no column"):
+            table.column("nope")
+
+    def test_iteration_yields_dicts(self, table):
+        first = next(iter(table))
+        assert first == {"trace": "CTC", "sched": "easy", "slowdown": 5.0}
+
+
+class TestTransforms:
+    def test_where(self, table):
+        ctc = table.where(lambda r: r["trace"] == "CTC")
+        assert len(ctc) == 2
+
+    def test_select(self, table):
+        projected = table.select("sched", "slowdown")
+        assert projected.columns == ("sched", "slowdown")
+        assert len(projected) == 4
+
+    def test_sort_by(self, table):
+        ordered = table.sort_by("slowdown", reverse=True)
+        assert ordered.column("slowdown")[0] == 45.0
+
+    def test_group_by(self, table):
+        grouped = table.group_by(
+            ["trace"], {"slowdown": lambda vs: sum(vs) / len(vs)}
+        )
+        assert grouped.column("trace") == ["CTC", "SDSC"]
+        assert grouped.column("slowdown") == [6.0, 42.5]
+
+    def test_pivot(self, table):
+        wide = table.pivot("trace", "sched", "slowdown")
+        assert wide.columns == ("trace", "easy", "cons")
+        assert wide.rows()[0] == ("CTC", 5.0, 7.0)
+
+    def test_pivot_missing_cell_is_nan(self):
+        t = Table(["r", "c", "v"])
+        t.append("a", "x", 1.0)
+        t.append("b", "y", 2.0)
+        wide = t.pivot("r", "c", "v")
+        assert math.isnan(wide.rows()[0][2])
+
+    def test_pivot_duplicate_cell_rejected(self):
+        t = Table(["r", "c", "v"])
+        t.append("a", "x", 1.0)
+        t.append("a", "x", 2.0)
+        with pytest.raises(ReproError, match="duplicate"):
+            t.pivot("r", "c", "v")
+
+    def test_with_column(self, table):
+        extended = table.with_column("double", lambda r: r["slowdown"] * 2)
+        assert extended.column("double") == [10.0, 14.0, 80.0, 90.0]
+
+    def test_with_existing_column_rejected(self, table):
+        with pytest.raises(ReproError):
+            table.with_column("slowdown", lambda r: 0)
+
+
+class TestRendering:
+    def test_render_contains_all_cells(self, table):
+        text = table.render(title="demo")
+        assert "demo" in text
+        assert "SDSC" in text
+        assert "45.00" in text
+
+    def test_render_nan_as_dash(self):
+        t = Table(["v"])
+        t.append(math.nan)
+        assert "-" in t.render()
+
+    def test_csv_roundtrip(self, table, tmp_path):
+        path = tmp_path / "out.csv"
+        text = table.to_csv(path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0] == "trace,sched,slowdown"
+        assert len(lines) == 5

@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched.backfill.conservative import ConservativeScheduler
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.backfill.lookahead import LookaheadScheduler
+from repro.sched.backfill.nobf import FCFSScheduler
+from repro.sched.backfill.selective import SelectiveScheduler
+from repro.sched.backfill.slack import SlackScheduler
+from repro.sched.backfill.depth import DepthScheduler
+from repro.sched.backfill.multiqueue import MultiQueueScheduler
+from repro.workload.job import Job, Workload
+
+
+def make_job(
+    job_id: int,
+    submit: float = 0.0,
+    runtime: float = 100.0,
+    procs: int = 1,
+    estimate: float | None = None,
+    **extra,
+) -> Job:
+    """Terse job constructor for hand-built scheduling scenarios."""
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        runtime=runtime,
+        estimate=estimate if estimate is not None else runtime,
+        procs=procs,
+        **extra,
+    )
+
+
+def make_workload(jobs, max_procs: int = 10, name: str = "test") -> Workload:
+    return Workload.from_jobs(jobs, max_procs=max_procs, name=name)
+
+
+#: All scheduling disciplines, for parametrized invariant tests.
+ALL_SCHEDULER_FACTORIES = {
+    "nobf": FCFSScheduler,
+    "cons": ConservativeScheduler,
+    "easy": EasyScheduler,
+    "sel": SelectiveScheduler,
+    "look": LookaheadScheduler,
+    "slack": SlackScheduler,
+    "depth": DepthScheduler,
+    "mq": MultiQueueScheduler,
+}
+
+
+@pytest.fixture(params=sorted(ALL_SCHEDULER_FACTORIES))
+def any_scheduler_factory(request):
+    """Yields each scheduler class in turn."""
+    return ALL_SCHEDULER_FACTORIES[request.param]

@@ -1,0 +1,82 @@
+"""Unit tests for the shared experiment helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    PRIORITIES,
+    category_slowdown,
+    conditional_slowdown,
+    overall_slowdown,
+    overall_turnaround,
+    quality_ids,
+    seed_mean,
+    worst_turnaround,
+)
+from repro.experiments.config import ExperimentParams
+from repro.experiments.runner import clear_cache, run_cell
+from repro.metrics.categories import Category, EstimateQuality
+
+PARAMS = ExperimentParams(n_jobs=200, seeds=(1, 2), traces=("CTC",))
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestSeedMean:
+    def test_matches_manual_mean(self):
+        values = [
+            run_cell(PARAMS.spec("CTC", seed, "exact"), "easy", "FCFS")
+            .overall.mean_bounded_slowdown
+            for seed in PARAMS.seeds
+        ]
+        expected = sum(values) / len(values)
+        assert overall_slowdown(PARAMS, "CTC", "exact", "easy", "FCFS") == pytest.approx(
+            expected
+        )
+
+    def test_custom_metric_callable(self):
+        value = seed_mean(
+            PARAMS, "CTC", "exact", "easy", "FCFS", lambda m: float(m.overall.count)
+        )
+        assert value == 200.0
+
+    def test_turnaround_and_worst_are_consistent(self):
+        mean_tat = overall_turnaround(PARAMS, "CTC", "exact", "easy", "FCFS")
+        worst = worst_turnaround(PARAMS, "CTC", "exact", "easy", "FCFS")
+        assert worst >= mean_tat
+
+    def test_category_slowdown_selects_category(self):
+        sn = category_slowdown(
+            PARAMS, "CTC", "exact", "easy", "FCFS", Category.SN
+        )
+        overall = overall_slowdown(PARAMS, "CTC", "exact", "easy", "FCFS")
+        assert sn > 0
+        assert sn != overall  # categories genuinely differ on this workload
+
+
+class TestQualityHelpers:
+    def test_quality_ids_partition_the_workload(self):
+        ids = quality_ids(PARAMS, "CTC", seed=1)
+        well, poor = ids[EstimateQuality.WELL], ids[EstimateQuality.POOR]
+        assert well and poor
+        assert not (well & poor)
+        assert len(well) + len(poor) == 200
+
+    def test_conditional_slowdown_restricts(self):
+        ids = quality_ids(PARAMS, "CTC", seed=1)
+        metrics = run_cell(PARAMS.spec("CTC", 1, "user"), "easy", "FCFS")
+        well_value = conditional_slowdown(metrics, ids[EstimateQuality.WELL])
+        all_value = metrics.overall.mean_bounded_slowdown
+        assert well_value > 0
+        # Restricting to a strict subset generally changes the mean.
+        assert well_value != pytest.approx(all_value, rel=1e-12) or len(
+            ids[EstimateQuality.POOR]
+        ) == 0
+
+
+def test_priorities_constant_matches_paper():
+    assert PRIORITIES == ("FCFS", "SJF", "XF")

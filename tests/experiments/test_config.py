@@ -1,0 +1,69 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    DEFAULT_PARAMS,
+    QUICK_PARAMS,
+    ExperimentParams,
+    WorkloadSpec,
+)
+
+
+class TestWorkloadSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.trace == "CTC"
+        assert spec.estimate == "exact"
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(trace="BLUE")
+
+    def test_unknown_estimate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(estimate="r3")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(load_scale=0.0)
+
+    def test_with_estimate_and_seed(self):
+        spec = WorkloadSpec().with_estimate("user").with_seed(7)
+        assert spec.estimate == "user"
+        assert spec.seed == 7
+
+    def test_specs_are_hashable_cache_keys(self):
+        assert WorkloadSpec() == WorkloadSpec()
+        assert hash(WorkloadSpec()) == hash(WorkloadSpec())
+        assert WorkloadSpec() != WorkloadSpec(seed=2)
+
+
+class TestExperimentParams:
+    def test_default_traces(self):
+        assert DEFAULT_PARAMS.traces == ("CTC", "SDSC")
+
+    def test_quick_smaller_than_default(self):
+        assert QUICK_PARAMS.n_jobs < DEFAULT_PARAMS.n_jobs
+        assert len(QUICK_PARAMS.seeds) <= len(DEFAULT_PARAMS.seeds)
+
+    def test_spec_builder(self):
+        spec = DEFAULT_PARAMS.spec("SDSC", 2, "user")
+        assert spec.trace == "SDSC"
+        assert spec.seed == 2
+        assert spec.n_jobs == DEFAULT_PARAMS.n_jobs
+
+    def test_specs_per_seed(self):
+        specs = DEFAULT_PARAMS.specs("CTC")
+        assert [s.seed for s in specs] == list(DEFAULT_PARAMS.seeds)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentParams(seeds=())
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentParams(traces=("NOPE",))

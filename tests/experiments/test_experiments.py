@@ -1,0 +1,78 @@
+"""Integration tests: every registered experiment runs and is well-formed.
+
+Uses tiny parameters so the whole module stays fast; the *results* of the
+full-size runs are exercised by the benchmark suite and recorded in
+EXPERIMENTS.md.  Here we assert structure: tables have rows, charts render,
+findings exist, and the renderer produces printable text.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentParams
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.runner import clear_cache
+from repro.errors import ExperimentError
+
+TINY = ExperimentParams(n_jobs=250, seeds=(1,), traces=("CTC", "SDSC"))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs_and_is_well_formed(experiment_id):
+    result = run_experiment(experiment_id, TINY)
+    assert result.experiment_id == experiment_id
+    assert result.tables, "every experiment must produce at least one table"
+    for table in result.tables.values():
+        assert len(table) > 0
+    assert result.findings, "every experiment must declare trend checks"
+    rendered = result.render()
+    assert experiment_id in rendered
+    assert "trend checks" in rendered
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ExperimentError, match="unknown experiment"):
+        get_experiment("figure99")
+
+
+def test_registry_covers_every_paper_artifact():
+    # Tables 1-7 and Figures 1-4: Table 1 is a static definition (asserted
+    # in metrics tests); everything else must have a registered experiment.
+    expected = {
+        "tables23",
+        "figure1",
+        "figure2",
+        "table4",
+        "tables56",
+        "figure3",
+        "figure4",
+        "table7",
+    }
+    assert expected.issubset(EXPERIMENTS.keys())
+    # Plus the Section 6 extension and the design ablation.
+    assert "selective" in EXPERIMENTS
+    assert "ablation-compression" in EXPERIMENTS
+
+
+def test_priority_equivalence_finding_is_exercised():
+    result = run_experiment("figure1", TINY)
+    equivalence = [
+        holds
+        for trend, holds in result.findings.items()
+        if "identical under FCFS/SJF/XF" in trend
+    ]
+    assert equivalence and all(equivalence)
+
+
+def test_tables23_distribution_close_to_paper():
+    # Workload generation is cheap, so this one runs at a realistic size —
+    # 250 jobs would leave sampling noise above the 3-point tolerance.
+    params = ExperimentParams(n_jobs=3000, seeds=(1,), traces=("CTC", "SDSC"))
+    result = run_experiment("tables23", params)
+    assert result.all_trends_hold

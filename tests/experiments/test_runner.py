@@ -1,0 +1,115 @@
+"""Unit tests for the experiment runner (factories + caching)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import WorkloadSpec
+from repro.experiments.runner import (
+    cached_workload,
+    clear_cache,
+    make_estimate_model,
+    make_scheduler,
+    make_workload,
+    run_cell,
+)
+from repro.sched.backfill.conservative import ConservativeScheduler
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.backfill.selective import SelectiveScheduler
+from repro.workload.estimates import (
+    ClampedEstimate,
+    ExactEstimate,
+    MultiplicativeEstimate,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+SMALL = WorkloadSpec(n_jobs=120, seed=3)
+
+
+class TestEstimateModels:
+    def test_exact(self):
+        assert isinstance(make_estimate_model(SMALL), ExactEstimate)
+
+    def test_multiplicative(self):
+        model = make_estimate_model(SMALL.with_estimate("r2"))
+        assert isinstance(model, MultiplicativeEstimate)
+        assert model.factor == 2.0
+
+    def test_user_is_clamped_to_trace_queue_limit(self):
+        model = make_estimate_model(SMALL.with_estimate("user"))
+        assert isinstance(model, ClampedEstimate)
+        assert model.max_estimate == 64_800.0  # CTC 18 h limit
+
+
+class TestWorkloadFactory:
+    def test_ctc_machine_size(self):
+        wl = make_workload(SMALL)
+        assert wl.max_procs == 430
+        assert len(wl) == 120
+
+    def test_load_scaling_applied(self):
+        normal = make_workload(WorkloadSpec(n_jobs=200, load_scale=1.0))
+        high = make_workload(WorkloadSpec(n_jobs=200, load_scale=0.5))
+        assert high.offered_load == pytest.approx(normal.offered_load * 2, rel=1e-6)
+
+    def test_estimates_attached_for_user_regime(self):
+        wl = make_workload(WorkloadSpec(n_jobs=300, estimate="user"))
+        assert any(j.estimate > j.runtime for j in wl)
+
+    def test_r2_estimates(self):
+        wl = make_workload(SMALL.with_estimate("r2"))
+        for job in wl:
+            assert job.estimate == pytest.approx(2 * job.runtime)
+
+    def test_estimate_rng_independent_of_workload_rng(self):
+        # Same workload seed, different estimate regimes: shapes identical.
+        exact = make_workload(SMALL)
+        user = make_workload(SMALL.with_estimate("user"))
+        assert [j.runtime for j in exact] == [j.runtime for j in user]
+        assert [j.procs for j in exact] == [j.procs for j in user]
+
+
+class TestSchedulerFactory:
+    def test_kinds(self):
+        assert isinstance(make_scheduler("cons"), ConservativeScheduler)
+        assert isinstance(make_scheduler("easy", "SJF"), EasyScheduler)
+        assert isinstance(make_scheduler("sel"), SelectiveScheduler)
+
+    def test_priority_forwarded(self):
+        assert make_scheduler("easy", "XF").priority.name == "XF"
+
+    def test_options_forwarded(self):
+        sched = make_scheduler("cons", compression="none")
+        assert sched.compression == "none"
+        sel = make_scheduler("sel", xfactor_threshold=3.0)
+        assert sel.xfactor_threshold == 3.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("magic")
+
+
+class TestCellCache:
+    def test_cell_results_are_cached(self):
+        first = run_cell(SMALL, "easy", "FCFS")
+        second = run_cell(SMALL, "easy", "FCFS")
+        assert first is second
+
+    def test_cache_distinguishes_options(self):
+        a = run_cell(SMALL, "cons", "FCFS", compression="repack")
+        b = run_cell(SMALL, "cons", "FCFS", compression="none")
+        assert a is not b
+
+    def test_workload_cache(self):
+        assert cached_workload(SMALL) is cached_workload(SMALL)
+
+    def test_clear_cache(self):
+        first = run_cell(SMALL, "easy", "FCFS")
+        clear_cache()
+        assert run_cell(SMALL, "easy", "FCFS") is not first

@@ -1,0 +1,74 @@
+"""Unit tests for job categorization (paper Table 1 and Section 5.2)."""
+
+from repro.metrics.categories import (
+    Category,
+    EstimateQuality,
+    categorize,
+    category_counts,
+    estimate_quality,
+)
+
+from tests.conftest import make_job
+
+
+class TestShapeCategories:
+    def test_short_narrow(self):
+        assert categorize(make_job(1, runtime=3599.0, procs=8)) is Category.SN
+
+    def test_boundaries_are_inclusive(self):
+        # Exactly 1 hour and exactly 8 processors are Short and Narrow.
+        assert categorize(make_job(1, runtime=3600.0, procs=8)) is Category.SN
+
+    def test_just_over_boundaries(self):
+        assert categorize(make_job(1, runtime=3600.1, procs=9)) is Category.LW
+
+    def test_short_wide(self):
+        assert categorize(make_job(1, runtime=100.0, procs=64)) is Category.SW
+
+    def test_long_narrow(self):
+        assert categorize(make_job(1, runtime=7200.0, procs=1)) is Category.LN
+
+    def test_categorizes_on_actual_runtime_not_estimate(self):
+        # 30-minute job estimated at 10 hours is still Short.
+        job = make_job(1, runtime=1800.0, estimate=36000.0, procs=4)
+        assert categorize(job) is Category.SN
+
+    def test_custom_boundaries(self):
+        job = make_job(1, runtime=100.0, procs=4)
+        assert categorize(job, width_boundary=2) is Category.SW
+
+    def test_category_flags(self):
+        assert Category.SN.is_short and Category.SN.is_narrow
+        assert Category.LW == Category("LW")
+        assert not Category.LW.is_short and not Category.LW.is_narrow
+
+    def test_category_counts(self):
+        jobs = [
+            make_job(1, runtime=100.0, procs=1),
+            make_job(2, runtime=100.0, procs=16),
+            make_job(3, runtime=9999.0, procs=1),
+            make_job(4, runtime=9999.0, procs=16),
+            make_job(5, runtime=50.0, procs=2),
+        ]
+        counts = category_counts(jobs)
+        assert counts[Category.SN] == 2
+        assert counts[Category.SW] == 1
+        assert counts[Category.LN] == 1
+        assert counts[Category.LW] == 1
+
+
+class TestEstimateQuality:
+    def test_exact_estimate_is_well(self):
+        assert estimate_quality(make_job(1, runtime=100.0)) is EstimateQuality.WELL
+
+    def test_factor_two_is_well(self):
+        job = make_job(1, runtime=100.0, estimate=200.0)
+        assert estimate_quality(job) is EstimateQuality.WELL
+
+    def test_above_factor_two_is_poor(self):
+        job = make_job(1, runtime=100.0, estimate=200.1)
+        assert estimate_quality(job) is EstimateQuality.POOR
+
+    def test_custom_factor(self):
+        job = make_job(1, runtime=100.0, estimate=300.0)
+        assert estimate_quality(job, max_factor=4.0) is EstimateQuality.WELL

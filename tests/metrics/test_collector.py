@@ -1,0 +1,101 @@
+"""Unit tests for CompletedJob records and run-level aggregation."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.categories import Category, EstimateQuality
+from repro.metrics.collector import CompletedJob, MetricSummary, summarize
+
+from tests.conftest import make_job
+
+
+def record(job_id=1, submit=0.0, runtime=100.0, procs=1, wait=0.0, estimate=None):
+    job = make_job(job_id, submit=submit, runtime=runtime, procs=procs, estimate=estimate)
+    start = submit + wait
+    return CompletedJob(job, start, start + job.effective_runtime)
+
+
+class TestCompletedJob:
+    def test_derived_metrics(self):
+        r = record(wait=50.0, runtime=100.0)
+        assert r.wait == 50.0
+        assert r.turnaround == 150.0
+        assert r.bounded_slowdown == pytest.approx(1.5)
+
+    def test_start_before_submit_rejected(self):
+        job = make_job(1, submit=100.0)
+        with pytest.raises(SimulationError):
+            CompletedJob(job, 50.0, 150.0)
+
+    def test_wrong_duration_rejected(self):
+        job = make_job(1, runtime=100.0)
+        with pytest.raises(SimulationError, match="ran"):
+            CompletedJob(job, 0.0, 50.0)
+
+    def test_killed_at_estimate_duration_accepted(self):
+        job = make_job(1, runtime=100.0, estimate=60.0)
+        r = CompletedJob(job, 0.0, 60.0)
+        assert r.turnaround == 60.0
+
+    def test_category_and_quality_passthrough(self):
+        r = record(runtime=7200.0, estimate=7200.0)
+        assert r.category is Category.LN
+        assert r.estimate_quality is EstimateQuality.WELL
+
+
+class TestMetricSummary:
+    def test_of_records(self):
+        records = [record(1, wait=0.0), record(2, wait=100.0)]
+        s = MetricSummary.of(records)
+        assert s.count == 2
+        assert s.mean_wait == 50.0
+        assert s.mean_turnaround == 150.0
+        assert s.max_turnaround == 200.0
+        assert s.mean_bounded_slowdown == pytest.approx((1.0 + 2.0) / 2)
+
+    def test_empty_summary_is_nan(self):
+        s = MetricSummary.empty()
+        assert s.count == 0
+        assert math.isnan(s.mean_bounded_slowdown)
+
+
+class TestSummarize:
+    def _records(self):
+        return [
+            record(1, runtime=100.0, procs=1),  # SN
+            record(2, runtime=100.0, procs=32, wait=500.0),  # SW
+            record(3, runtime=7200.0, procs=2),  # LN
+            record(4, runtime=300.0, estimate=3000.0, procs=1),  # SN, poor
+        ]
+
+    def test_overall_and_category_breakdown(self):
+        metrics = summarize(self._records())
+        assert metrics.overall.count == 4
+        assert metrics.by_category[Category.SN].count == 2
+        assert metrics.by_category[Category.SW].count == 1
+        assert metrics.by_category[Category.LW].count == 0
+        assert math.isnan(metrics.by_category[Category.LW].mean_turnaround)
+
+    def test_quality_breakdown(self):
+        metrics = summarize(self._records())
+        assert metrics.by_estimate_quality[EstimateQuality.POOR].count == 1
+        assert metrics.by_estimate_quality[EstimateQuality.WELL].count == 3
+
+    def test_makespan_spans_submit_to_last_finish(self):
+        metrics = summarize(self._records())
+        assert metrics.makespan == 7200.0  # LN job finishes last
+
+    def test_accessors(self):
+        metrics = summarize(self._records())
+        assert metrics.category_summary("SN").count == 2
+        assert metrics.quality_summary("poor").count == 1
+        assert metrics.record_for(2).job.procs == 32
+        with pytest.raises(KeyError):
+            metrics.record_for(99)
+
+    def test_empty_summarize(self):
+        metrics = summarize([])
+        assert metrics.overall.count == 0
+        assert metrics.makespan == 0.0

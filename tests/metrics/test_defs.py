@@ -1,0 +1,74 @@
+"""Unit tests for the metric definitions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.defs import (
+    BOUNDED_SLOWDOWN_THRESHOLD,
+    bounded_slowdown,
+    slowdown,
+    turnaround_time,
+    wait_time,
+)
+
+
+class TestWaitTime:
+    def test_basic(self):
+        assert wait_time(10.0, 25.0) == 15.0
+
+    def test_zero_wait(self):
+        assert wait_time(10.0, 10.0) == 0.0
+
+    def test_start_before_submit_rejected(self):
+        with pytest.raises(SimulationError):
+            wait_time(10.0, 5.0)
+
+
+class TestTurnaround:
+    def test_basic(self):
+        assert turnaround_time(10.0, 110.0) == 100.0
+
+    def test_finish_before_submit_rejected(self):
+        with pytest.raises(SimulationError):
+            turnaround_time(10.0, 5.0)
+
+
+class TestSlowdown:
+    def test_no_wait_gives_one(self):
+        assert slowdown(0.0, 0.0, 100.0) == 1.0
+
+    def test_wait_equals_runtime_gives_two(self):
+        assert slowdown(0.0, 100.0, 200.0) == 2.0
+
+    def test_zero_runtime_rejected(self):
+        with pytest.raises(SimulationError):
+            slowdown(0.0, 10.0, 10.0)
+
+
+class TestBoundedSlowdown:
+    def test_matches_paper_definition(self):
+        # (wait + max(runtime, 10)) / max(runtime, 10)
+        assert bounded_slowdown(0.0, 50.0, 150.0) == pytest.approx(150.0 / 100.0)
+
+    def test_short_job_bounded_by_threshold(self):
+        # 1-second job waiting 99 seconds: raw slowdown would be 100,
+        # bounded uses max(1, 10) = 10 -> (99 + 10)/10 = 10.9.
+        assert bounded_slowdown(0.0, 99.0, 100.0) == pytest.approx(10.9)
+
+    def test_equals_one_with_no_wait(self):
+        assert bounded_slowdown(5.0, 5.0, 6.0) == 1.0
+
+    def test_threshold_default_is_ten_seconds(self):
+        assert BOUNDED_SLOWDOWN_THRESHOLD == 10.0
+
+    def test_custom_threshold(self):
+        assert bounded_slowdown(0.0, 10.0, 11.0, threshold=1.0) == pytest.approx(11.0)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(SimulationError):
+            bounded_slowdown(0.0, 1.0, 2.0, threshold=0.0)
+
+    def test_bounded_never_exceeds_raw_slowdown_for_short_jobs(self):
+        raw = slowdown(0.0, 100.0, 101.0)
+        bounded = bounded_slowdown(0.0, 100.0, 101.0)
+        assert bounded < raw

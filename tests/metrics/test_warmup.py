@@ -1,0 +1,62 @@
+"""Unit tests for steady-state warm-up trimming."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.collector import CompletedJob, trim_warmup
+
+from tests.conftest import make_job
+
+
+def _records(n=10):
+    return [
+        CompletedJob(make_job(i, submit=float(i), runtime=10.0), float(i), float(i) + 10.0)
+        for i in range(1, n + 1)
+    ]
+
+
+class TestTrimWarmup:
+    def test_drops_leading_fraction(self):
+        trimmed = trim_warmup(_records(10), warmup_fraction=0.2)
+        assert [r.job.job_id for r in trimmed] == list(range(3, 11))
+
+    def test_drops_trailing_fraction(self):
+        trimmed = trim_warmup(
+            _records(10), warmup_fraction=0.0, cooldown_fraction=0.3
+        )
+        assert [r.job.job_id for r in trimmed] == list(range(1, 8))
+
+    def test_both_ends(self):
+        trimmed = trim_warmup(
+            _records(10), warmup_fraction=0.1, cooldown_fraction=0.1
+        )
+        assert [r.job.job_id for r in trimmed] == list(range(2, 10))
+
+    def test_orders_by_submission(self):
+        records = list(reversed(_records(10)))
+        trimmed = trim_warmup(records, warmup_fraction=0.2)
+        assert [r.job.job_id for r in trimmed] == list(range(3, 11))
+
+    def test_zero_fractions_keep_everything(self):
+        assert len(trim_warmup(_records(5), warmup_fraction=0.0)) == 5
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(SimulationError):
+            trim_warmup(_records(5), warmup_fraction=1.0)
+        with pytest.raises(SimulationError):
+            trim_warmup(_records(5), warmup_fraction=0.6, cooldown_fraction=0.6)
+
+    def test_trimming_changes_saturation_average(self):
+        # A run whose early jobs are fast (empty machine) and late jobs
+        # slow: trimming the warm-up raises the measured mean slowdown.
+        from repro.metrics.collector import summarize
+
+        records = [
+            CompletedJob(make_job(i, submit=float(i), runtime=10.0), float(i) + (0.0 if i <= 5 else 50.0), float(i) + 10.0 + (0.0 if i <= 5 else 50.0))
+            for i in range(1, 11)
+        ]
+        full = summarize(records).overall.mean_bounded_slowdown
+        steady = summarize(
+            trim_warmup(records, warmup_fraction=0.5)
+        ).overall.mean_bounded_slowdown
+        assert steady > full

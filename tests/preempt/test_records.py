@@ -1,0 +1,74 @@
+"""Unit tests for preemptive outcome records."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.preempt.records import PreemptedJob, summarize_preemptive
+from repro.metrics.categories import Category
+
+from tests.conftest import make_job
+
+
+class TestPreemptedJob:
+    def test_uninterrupted_job(self):
+        job = make_job(1, submit=0.0, runtime=100.0)
+        record = PreemptedJob(job, ((10.0, 110.0),))
+        assert record.wait == 10.0
+        assert record.turnaround == 110.0
+        assert record.suspended_time == 0.0
+        assert record.n_suspensions == 0
+        assert record.bounded_slowdown == pytest.approx(1.1)
+
+    def test_suspended_job_metrics(self):
+        job = make_job(1, submit=0.0, runtime=100.0)
+        record = PreemptedJob(job, ((10.0, 50.0), (80.0, 140.0)))
+        assert record.wait == 10.0
+        assert record.suspended_time == 30.0
+        assert record.n_suspensions == 1
+        assert record.finish_time == 140.0
+        # non-running time = 10 wait + 30 suspended = 40
+        assert record.bounded_slowdown == pytest.approx((40 + 100) / 100)
+
+    def test_empty_intervals_rejected(self):
+        with pytest.raises(SimulationError):
+            PreemptedJob(make_job(1), ())
+
+    def test_wrong_total_runtime_rejected(self):
+        with pytest.raises(SimulationError, match="executed"):
+            PreemptedJob(make_job(1, runtime=100.0), ((0.0, 50.0),))
+
+    def test_overlapping_intervals_rejected(self):
+        job = make_job(1, runtime=100.0)
+        with pytest.raises(SimulationError, match="overlap"):
+            PreemptedJob(job, ((0.0, 60.0), (50.0, 90.0)))
+
+    def test_start_before_submit_rejected(self):
+        job = make_job(1, submit=50.0, runtime=100.0)
+        with pytest.raises(SimulationError, match="before submission"):
+            PreemptedJob(job, ((0.0, 100.0),))
+
+    def test_category_passthrough(self):
+        job = make_job(1, runtime=7200.0, procs=32)
+        record = PreemptedJob(job, ((0.0, 7200.0),))
+        assert record.category is Category.LW
+
+
+class TestSummarize:
+    def test_aggregates(self):
+        records = [
+            PreemptedJob(make_job(1, runtime=100.0), ((0.0, 100.0),)),
+            PreemptedJob(make_job(2, runtime=100.0), ((50.0, 100.0), (150.0, 200.0))),
+        ]
+        metrics = summarize_preemptive(records)
+        assert metrics.overall.count == 2
+        assert metrics.overall.max_turnaround == 200.0
+        assert metrics.overall.mean_bounded_slowdown == pytest.approx(
+            (1.0 + 2.0) / 2
+        )
+
+    def test_empty(self):
+        metrics = summarize_preemptive([])
+        assert metrics.overall.count == 0
+        assert math.isnan(metrics.overall.mean_turnaround)

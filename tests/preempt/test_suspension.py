@@ -1,0 +1,156 @@
+"""Behavioral tests for selective suspension (policy + engine)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.preempt.engine import PreemptiveSimulator
+from repro.preempt.scheduler import SelectiveSuspensionScheduler
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sim.engine import simulate
+
+from tests.conftest import make_job, make_workload
+
+
+def run(jobs, **kwargs):
+    scheduler = SelectiveSuspensionScheduler(**kwargs)
+    return PreemptiveSimulator(make_workload(jobs), scheduler).run()
+
+
+class TestValidation:
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelectiveSuspensionScheduler(suspension_factor=0.5)
+
+    def test_invalid_min_wait_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelectiveSuspensionScheduler(min_wait=-1.0)
+
+
+class TestEasyEquivalenceWithoutPreemption:
+    def test_matches_easy_when_nothing_qualifies(self):
+        # With an enormous suspension factor nothing is ever suspended, so
+        # the policy IS EASY: identical start times on a contended mix.
+        jobs = [
+            make_job(i, submit=i * 4.0, runtime=30.0 + (i * 17) % 90, procs=(i * 7) % 9 + 1)
+            for i in range(1, 50)
+        ]
+        preemptive = run(list(jobs), suspension_factor=1e9)
+        easy = simulate(make_workload(list(jobs)), EasyScheduler())
+        assert preemptive.start_times() == easy.start_times()
+        assert preemptive.total_suspensions == 0
+
+
+class TestSuspensionMechanics:
+    def _starved_wide_scenario(self):
+        # Machine 10.  A stream of long narrow jobs monopolizes the
+        # machine; the wide job 2 cannot backfill and its expansion factor
+        # explodes, eventually qualifying it to suspend the narrow jobs.
+        jobs = [
+            make_job(1, submit=0.0, runtime=10_000.0, procs=5),
+            make_job(2, submit=1.0, runtime=100.0, estimate=100.0, procs=10),
+            make_job(3, submit=2.0, runtime=10_000.0, procs=5),
+        ]
+        return jobs
+
+    def test_needy_wide_job_preempts(self):
+        result = run(self._starved_wide_scenario(), suspension_factor=2.0, min_wait=60.0)
+        assert result.total_suspensions > 0
+        starts = result.start_times()
+        # Without preemption job 2 would wait 10000s; with it, far less.
+        assert starts[2] < 5000.0
+
+    def test_suspended_jobs_complete_with_full_runtime(self):
+        result = run(self._starved_wide_scenario(), suspension_factor=2.0, min_wait=60.0)
+        for record in result.records:
+            executed = sum(end - start for start, end in record.intervals)
+            assert executed == pytest.approx(record.job.effective_runtime)
+
+    def test_no_preemption_below_min_wait(self):
+        result = run(
+            self._starved_wide_scenario(), suspension_factor=2.0, min_wait=1e9
+        )
+        assert result.total_suspensions == 0
+
+    def test_high_factor_prevents_marginal_preemption(self):
+        lenient = run(self._starved_wide_scenario(), suspension_factor=1.5, min_wait=60.0)
+        strict = run(self._starved_wide_scenario(), suspension_factor=50.0, min_wait=60.0)
+        assert strict.start_times()[2] >= lenient.start_times()[2]
+
+
+class TestEngineInvariants:
+    def test_all_jobs_complete(self):
+        jobs = [
+            make_job(
+                i,
+                submit=i * 3.0,
+                runtime=20.0 + (i * 13) % 80,
+                estimate=2.0 * (20.0 + (i * 13) % 80),
+                procs=(i * 5) % 9 + 1,
+            )
+            for i in range(1, 80)
+        ]
+        result = run(jobs, suspension_factor=1.5, min_wait=30.0)
+        assert result.metrics.overall.count == 79
+
+    def test_deterministic(self):
+        jobs = [
+            make_job(i, submit=i * 3.0, runtime=25.0 + i % 60, procs=(i % 7) + 1)
+            for i in range(1, 50)
+        ]
+
+        def starts():
+            return run(list(jobs), suspension_factor=1.5, min_wait=30.0).start_times()
+
+        assert starts() == starts()
+
+    def test_single_use(self):
+        from repro.errors import SimulationError
+
+        sim = PreemptiveSimulator(
+            make_workload([make_job(1)]), SelectiveSuspensionScheduler()
+        )
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_suspension_overhead_charged_to_victims(self):
+        # With overhead, each suspended job executes longer in total; the
+        # records account for it exactly (validated by PreemptedJob).
+        jobs = [
+            make_job(1, submit=0.0, runtime=10_000.0, procs=5),
+            make_job(2, submit=1.0, runtime=100.0, procs=10),
+            make_job(3, submit=2.0, runtime=10_000.0, procs=5),
+        ]
+        free = PreemptiveSimulator(
+            make_workload(list(jobs)),
+            SelectiveSuspensionScheduler(suspension_factor=2.0, min_wait=60.0),
+        ).run()
+        costly = PreemptiveSimulator(
+            make_workload(list(jobs)),
+            SelectiveSuspensionScheduler(suspension_factor=2.0, min_wait=60.0),
+            suspension_overhead=600.0,
+        ).run()
+        assert free.total_suspensions > 0
+        assert costly.total_suspensions > 0
+        # Victims finish later when every suspension costs 10 minutes.
+        free_finish = max(r.finish_time for r in free.records)
+        costly_finish = max(r.finish_time for r in costly.records)
+        assert costly_finish > free_finish
+
+    def test_negative_overhead_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            PreemptiveSimulator(
+                make_workload([make_job(1)]),
+                SelectiveSuspensionScheduler(),
+                suspension_overhead=-1.0,
+            )
+
+    def test_utilization_bounded(self):
+        jobs = [
+            make_job(i, submit=i * 5.0, runtime=40.0, procs=(i % 9) + 1)
+            for i in range(1, 40)
+        ]
+        result = run(jobs, suspension_factor=2.0)
+        assert 0.0 < result.metrics.utilization <= 1.0

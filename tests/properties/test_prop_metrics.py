@@ -1,0 +1,82 @@
+"""Property-based tests for metric definitions and estimate models."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.metrics.defs import bounded_slowdown, slowdown
+from repro.workload.estimates import (
+    ClampedEstimate,
+    MultiplicativeEstimate,
+    UserEstimateModel,
+)
+from repro.workload.job import Job
+
+times = st.floats(min_value=0.0, max_value=1e6)
+durations = st.floats(min_value=0.01, max_value=1e6)
+
+
+@given(times, durations, durations)
+def test_bounded_slowdown_at_least_one(submit, wait, runtime):
+    start = submit + wait
+    finish = start + runtime
+    assert bounded_slowdown(submit, start, finish) >= 1.0 - 1e-12
+
+
+@given(times, durations, st.floats(min_value=11.0, max_value=1e6))
+def test_bounded_equals_raw_for_long_jobs(submit, wait, runtime):
+    """For runtimes above the 10 s threshold the bound is inactive.
+
+    Compared with a relative tolerance: ``finish - start`` can differ from
+    ``runtime`` by a few ULPs at large magnitudes.
+    """
+    start = submit + wait
+    finish = start + runtime
+    bounded = bounded_slowdown(submit, start, finish)
+    raw = slowdown(submit, start, finish)
+    assert abs(bounded - raw) <= 1e-9 * max(abs(raw), 1.0)
+
+
+@given(times, durations, st.floats(min_value=0.01, max_value=9.99))
+def test_bounded_below_raw_for_short_waited_jobs(submit, wait, runtime):
+    """For sub-threshold runtimes with positive wait, bounding reduces the
+    metric — that is its purpose."""
+    start = submit + wait
+    finish = start + runtime
+    assert bounded_slowdown(submit, start, finish) <= slowdown(submit, start, finish)
+
+
+@st.composite
+def jobs(draw):
+    runtime = draw(st.floats(min_value=1.0, max_value=1e5))
+    return Job(
+        job_id=1,
+        submit_time=0.0,
+        runtime=runtime,
+        estimate=runtime,
+        procs=draw(st.integers(min_value=1, max_value=128)),
+    )
+
+
+@given(
+    jobs(),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=2.5, max_value=100.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=100)
+def test_user_estimates_always_valid(job, well_fraction, max_factor, seed):
+    rng = np.random.default_rng(seed)
+    model = UserEstimateModel(well_fraction=well_fraction, max_factor=max_factor)
+    estimate = model.estimate_for(job, rng)
+    assert estimate >= job.runtime
+    assert estimate <= job.runtime * max_factor * (1.0 + 1e-9)
+
+
+@given(jobs(), st.floats(min_value=1.0, max_value=1e6), st.integers(0, 2**31))
+def test_clamped_estimates_within_bounds(job, limit, seed):
+    rng = np.random.default_rng(seed)
+    model = ClampedEstimate(MultiplicativeEstimate(7.0), max_estimate=limit)
+    estimate = model.estimate_for(job, rng)
+    assert estimate >= job.runtime
+    assert estimate <= max(limit, job.runtime)

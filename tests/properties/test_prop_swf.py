@@ -1,0 +1,68 @@
+"""Property-based round-trip tests for the SWF reader/writer."""
+
+import io
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.workload.job import Job, Workload
+from repro.workload.swf import read_swf, write_swf
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=0, max_value=20))
+    jobs = []
+    clock = 0.0
+    for i in range(n):
+        clock += draw(st.floats(min_value=0.0, max_value=1000.0))
+        runtime = draw(st.floats(min_value=1.0, max_value=100000.0))
+        jobs.append(
+            Job(
+                job_id=i + 1,
+                submit_time=round(clock, 2),
+                runtime=round(runtime, 2),
+                estimate=round(
+                    runtime * draw(st.floats(min_value=1.0, max_value=10.0)), 2
+                ),
+                procs=draw(st.integers(min_value=1, max_value=64)),
+                user_id=draw(st.integers(min_value=-1, max_value=500)),
+                group_id=draw(st.integers(min_value=-1, max_value=50)),
+                queue=draw(st.integers(min_value=-1, max_value=5)),
+                status=draw(st.sampled_from([-1, 0, 1, 5])),
+            )
+        )
+    return Workload(tuple(jobs), max_procs=64, name="prop-swf")
+
+
+@given(workloads())
+@settings(max_examples=80)
+def test_swf_roundtrip_preserves_scheduling_fields(wl):
+    buffer = io.StringIO()
+    write_swf(wl, buffer)
+    restored = read_swf(io.StringIO(buffer.getvalue()))
+    assert restored.max_procs == wl.max_procs
+    assert len(restored) == len(wl)
+    for a, b in zip(wl, restored):
+        assert a.job_id == b.job_id
+        assert abs(a.submit_time - b.submit_time) < 0.01
+        assert abs(a.runtime - b.runtime) < 0.01
+        assert abs(a.estimate - b.estimate) < 0.01
+        assert a.procs == b.procs
+        assert a.user_id == b.user_id
+        assert a.group_id == b.group_id
+        assert a.queue == b.queue
+
+
+@given(workloads())
+@settings(max_examples=30)
+def test_swf_double_roundtrip_is_stable(wl):
+    buffer1 = io.StringIO()
+    write_swf(wl, buffer1)
+    once = read_swf(io.StringIO(buffer1.getvalue()))
+    buffer2 = io.StringIO()
+    write_swf(once, buffer2)
+    twice = read_swf(io.StringIO(buffer2.getvalue()))
+    assert [
+        (j.job_id, j.submit_time, j.runtime, j.estimate, j.procs) for j in once
+    ] == [(j.job_id, j.submit_time, j.runtime, j.estimate, j.procs) for j in twice]

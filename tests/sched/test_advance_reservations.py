@@ -1,0 +1,161 @@
+"""Tests for advance-reservation support."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sched.backfill.conservative import ConservativeScheduler
+from repro.sched.backfill.depth import DepthScheduler
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.backfill.selective import SelectiveScheduler
+from repro.sched.reservations import AdvanceReservation, carve_reservations
+from repro.sched.profile import Profile
+from repro.sim.engine import simulate
+
+from tests.conftest import make_job, make_workload
+
+
+class TestAdvanceReservation:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdvanceReservation(procs=0, start=0.0, duration=10.0)
+        with pytest.raises(ConfigurationError):
+            AdvanceReservation(procs=1, start=-1.0, duration=10.0)
+        with pytest.raises(ConfigurationError):
+            AdvanceReservation(procs=1, start=0.0, duration=0.0)
+
+    def test_end_property(self):
+        ar = AdvanceReservation(procs=4, start=100.0, duration=50.0)
+        assert ar.end == 150.0
+
+    def test_carve_skips_past_windows(self):
+        profile = Profile(10, origin=200.0)
+        carve_reservations(
+            profile, [AdvanceReservation(procs=4, start=0.0, duration=50.0)], 200.0
+        )
+        assert profile.breakpoints() == [(200.0, 10)]
+
+    def test_carve_clips_active_window(self):
+        profile = Profile(10, origin=100.0)
+        carve_reservations(
+            profile, [AdvanceReservation(procs=4, start=50.0, duration=100.0)], 100.0
+        )
+        assert profile.free_at(100.0) == 6
+        assert profile.free_at(150.0) == 10
+
+
+AR = AdvanceReservation(procs=10, start=200.0, duration=100.0)  # full machine
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda ars: ConservativeScheduler(advance_reservations=ars),
+        lambda ars: ConservativeScheduler(
+            compression="none", advance_reservations=ars
+        ),
+        lambda ars: SelectiveScheduler(advance_reservations=ars),
+        lambda ars: DepthScheduler(depth=2, advance_reservations=ars),
+    ],
+    ids=["cons-repack", "cons-none", "selective", "depth"],
+)
+class TestSchedulingAroundAR:
+    def test_jobs_pack_around_the_window(self, factory):
+        # A 150s job arriving at t=100 cannot finish before the AR at 200,
+        # so it must wait until the window clears at 300.  A 50s job fits
+        # before the window and runs immediately.
+        jobs = [
+            make_job(1, submit=100.0, runtime=150.0, procs=4),
+            make_job(2, submit=100.5, runtime=50.0, procs=4),
+        ]
+        starts = simulate(make_workload(jobs), factory((AR,))).start_times()
+        assert starts[2] == 100.5  # fits before the window
+        assert starts[1] == 300.0  # packed after the AR
+
+    def test_no_job_overlaps_the_window(self, factory):
+        jobs = [
+            make_job(i, submit=float(i * 10), runtime=80.0 + i, procs=(i % 5) + 1)
+            for i in range(1, 20)
+        ]
+        result = simulate(make_workload(jobs), factory((AR,)))
+        for record in result.completed:
+            # Full-machine AR: no job may run inside [200, 300).
+            assert (
+                record.finish_time <= AR.start + 1e-6
+                or record.start_time >= AR.end - 1e-6
+            )
+
+    def test_all_jobs_complete(self, factory):
+        jobs = [
+            make_job(i, submit=float(i * 5), runtime=60.0, procs=(i % 9) + 1)
+            for i in range(1, 40)
+        ]
+        result = simulate(make_workload(jobs), factory((AR,)))
+        assert result.metrics.overall.count == 39
+
+
+class TestEngineGuards:
+    def test_unsupported_scheduler_rejected(self):
+        scheduler = EasyScheduler()
+        scheduler.advance_reservations = (AR,)
+        with pytest.raises(SimulationError, match="cannot honour"):
+            simulate(make_workload([make_job(1)]), scheduler)
+
+    def test_oversized_ar_rejected(self):
+        big = AdvanceReservation(procs=99, start=10.0, duration=10.0)
+        with pytest.raises(ConfigurationError, match="needs 99 procs"):
+            simulate(
+                make_workload([make_job(1)]),
+                ConservativeScheduler(advance_reservations=(big,)),
+            )
+
+    def test_jointly_oversubscribing_ars_rejected(self):
+        # Each window fits alone; together they exceed the machine.
+        windows = (
+            AdvanceReservation(procs=6, start=10.0, duration=100.0),
+            AdvanceReservation(procs=6, start=50.0, duration=100.0),
+        )
+        with pytest.raises(ConfigurationError, match="jointly"):
+            simulate(
+                make_workload([make_job(1)]),
+                ConservativeScheduler(advance_reservations=windows),
+            )
+
+    def test_back_to_back_windows_are_legal(self):
+        # Half-open windows: one ending exactly as another starts is fine
+        # even at full machine width.
+        windows = (
+            AdvanceReservation(procs=10, start=10.0, duration=40.0),
+            AdvanceReservation(procs=10, start=50.0, duration=40.0),
+        )
+        result = simulate(
+            make_workload([make_job(1, submit=0.0, runtime=5.0, procs=2)]),
+            ConservativeScheduler(advance_reservations=windows),
+        )
+        assert result.metrics.overall.count == 1
+
+    def test_partial_width_ar_shares_machine(self):
+        # 6 of 10 procs reserved on [50, 150): a 4-proc job may run through
+        # the window, a 5-proc job may not.
+        ar = AdvanceReservation(procs=6, start=50.0, duration=100.0)
+        jobs = [
+            make_job(1, submit=40.0, runtime=100.0, procs=4),
+            make_job(2, submit=41.0, runtime=100.0, procs=5),
+        ]
+        starts = simulate(
+            make_workload(jobs), ConservativeScheduler(advance_reservations=(ar,))
+        ).start_times()
+        assert starts[1] == 40.0
+        assert starts[2] == 150.0
+
+    def test_multiple_windows(self):
+        ars = (
+            AdvanceReservation(procs=10, start=100.0, duration=50.0, label="m1"),
+            AdvanceReservation(procs=10, start=300.0, duration=50.0, label="m2"),
+        )
+        jobs = [make_job(1, submit=0.0, runtime=120.0, procs=8)]
+        starts = simulate(
+            make_workload(jobs), ConservativeScheduler(advance_reservations=ars)
+        ).start_times()
+        # 120s does not fit before t=100 nor between the windows (150-300);
+        # wait: 150 to 300 is 150s >= 120s, so it fits in the gap.
+        assert starts[1] == 150.0

@@ -1,0 +1,101 @@
+"""Behavioral tests for reservation-depth backfilling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.backfill.conservative import ConservativeScheduler
+from repro.sched.backfill.depth import DepthScheduler
+from repro.sched.backfill.selective import SelectiveScheduler
+from repro.sim.engine import simulate
+
+from tests.conftest import make_job, make_workload
+
+
+def _random_jobs(n=60, inflate=2.0):
+    return [
+        make_job(
+            i,
+            submit=i * 4.0,
+            runtime=15.0 + (i * 23) % 100,
+            estimate=inflate * (15.0 + (i * 23) % 100),
+            procs=(i * 7) % 9 + 1,
+        )
+        for i in range(1, n + 1)
+    ]
+
+
+class TestValidation:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DepthScheduler(depth=0)
+
+    def test_describe_mentions_depth(self):
+        assert "k=3" in DepthScheduler(depth=3).describe()
+
+
+class TestContinuumEndpoints:
+    def test_full_depth_equals_selective_threshold_one(self):
+        jobs = _random_jobs()
+        deep = simulate(
+            make_workload(list(jobs)), DepthScheduler(depth=10**9)
+        ).start_times()
+        selective = simulate(
+            make_workload(list(jobs)), SelectiveScheduler(xfactor_threshold=1.0)
+        ).start_times()
+        assert deep == selective
+
+    def test_full_depth_equals_conservative_repack(self):
+        jobs = _random_jobs()
+        deep = simulate(
+            make_workload(list(jobs)), DepthScheduler(depth=10**9)
+        ).start_times()
+        cons = simulate(
+            make_workload(list(jobs)), ConservativeScheduler(compression="repack")
+        ).start_times()
+        assert deep == cons
+
+    def test_depth_one_protects_exactly_the_head(self):
+        # Head (job 2) holds the only reservation; job 3 backfills into the
+        # hole, job 4's rectangle would delay the head and must wait.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, procs=6),
+            make_job(2, submit=1.0, runtime=100.0, procs=8),
+            make_job(3, submit=2.0, runtime=50.0, procs=2),
+            make_job(4, submit=3.0, runtime=150.0, procs=3),
+        ]
+        starts = simulate(make_workload(jobs), DepthScheduler(depth=1)).start_times()
+        assert starts[2] == 100.0
+        assert starts[3] == 2.0
+        assert starts[4] == 200.0
+
+
+class TestContinuumBehaviour:
+    def test_deeper_reservations_protect_wide_jobs(self):
+        # A wide job behind a stream of narrow ones: at depth 1 it is
+        # protected only once it reaches the head; deeper reservation
+        # fronts cover it sooner.
+        jobs = [make_job(1, submit=0.0, runtime=100.0, procs=6)]
+        jobs += [
+            make_job(i, submit=1.0 + i * 0.1, runtime=300.0, procs=4)
+            for i in range(2, 5)
+        ]
+        jobs.append(make_job(9, submit=2.0, runtime=50.0, procs=10))  # wide
+        shallow = simulate(
+            make_workload(list(jobs)), DepthScheduler(depth=1)
+        ).start_times()
+        deep = simulate(
+            make_workload(list(jobs)), DepthScheduler(depth=8)
+        ).start_times()
+        assert deep[9] <= shallow[9]
+
+    def test_all_depths_complete_everything(self):
+        jobs = _random_jobs()
+        for depth in (1, 2, 4, 16):
+            result = simulate(make_workload(list(jobs)), DepthScheduler(depth=depth))
+            assert result.metrics.overall.count == len(jobs)
+
+    def test_deterministic(self):
+        jobs = _random_jobs(40)
+        a = simulate(make_workload(list(jobs)), DepthScheduler(depth=3)).start_times()
+        b = simulate(make_workload(list(jobs)), DepthScheduler(depth=3)).start_times()
+        assert a == b

@@ -1,0 +1,138 @@
+"""Behavioral tests for EASY (aggressive) backfilling.
+
+The scenarios pin down the exact Mu'alem-Feitelson semantics: one
+reservation for the queue head, and the two backfill admission conditions
+(finish by the shadow time, or fit in the extra processors).
+"""
+
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.priority.policies import SJFPriority
+from repro.sim.engine import simulate
+
+from tests.conftest import make_job, make_workload
+
+# Base scenario: machine of 10.
+# job1: 6 procs, runtime 100, starts at 0 -> 4 procs free.
+# job2: 8 procs, arrives at 1 -> blocked head; shadow = 100, extra = 2.
+
+
+def _starts(jobs):
+    return simulate(make_workload(jobs), EasyScheduler()).start_times()
+
+
+class TestBackfillConditions:
+    def test_short_job_backfills_before_shadow(self):
+        starts = _starts(
+            [
+                make_job(1, submit=0.0, runtime=100.0, procs=6),
+                make_job(2, submit=1.0, runtime=100.0, procs=8),
+                make_job(3, submit=2.0, runtime=50.0, procs=4),  # 2+50 <= 100
+            ]
+        )
+        assert starts[3] == 2.0
+        assert starts[2] == 100.0  # head not delayed
+
+    def test_long_narrow_job_backfills_into_extra_procs(self):
+        # est 500 runs past the shadow, but 2 procs <= extra (10-8) = 2.
+        starts = _starts(
+            [
+                make_job(1, submit=0.0, runtime=100.0, procs=6),
+                make_job(2, submit=1.0, runtime=100.0, procs=8),
+                make_job(3, submit=2.0, runtime=500.0, procs=2),
+            ]
+        )
+        assert starts[3] == 2.0
+        assert starts[2] == 100.0
+
+    def test_long_wide_job_does_not_backfill(self):
+        # est 500 > shadow window and 3 procs > extra = 2: would delay head.
+        starts = _starts(
+            [
+                make_job(1, submit=0.0, runtime=100.0, procs=6),
+                make_job(2, submit=1.0, runtime=100.0, procs=8),
+                make_job(3, submit=2.0, runtime=500.0, procs=3),
+            ]
+        )
+        assert starts[2] == 100.0
+        assert starts[3] == 200.0  # runs after the head
+
+    def test_extra_procs_are_consumed(self):
+        # Two 1-proc long jobs fit the 2 extra procs; a third must wait.
+        starts = _starts(
+            [
+                make_job(1, submit=0.0, runtime=100.0, procs=6),
+                make_job(2, submit=1.0, runtime=100.0, procs=8),
+                make_job(3, submit=2.0, runtime=500.0, procs=1),
+                make_job(4, submit=2.5, runtime=500.0, procs=1),
+                make_job(5, submit=3.0, runtime=500.0, procs=1),
+            ]
+        )
+        assert starts[3] == 2.0
+        assert starts[4] == 2.5
+        assert starts[5] > 3.0
+
+    def test_backfill_uses_estimate_not_runtime(self):
+        # Actual runtime fits before the shadow but the ESTIMATE does not,
+        # and 4 procs > extra: the scheduler must refuse the backfill.
+        starts = _starts(
+            [
+                make_job(1, submit=0.0, runtime=100.0, procs=6),
+                make_job(2, submit=1.0, runtime=100.0, procs=8),
+                make_job(3, submit=2.0, runtime=50.0, estimate=500.0, procs=4),
+            ]
+        )
+        assert starts[3] > 2.0
+
+
+class TestHeadBehaviour:
+    def test_head_starts_at_shadow_exactly(self):
+        starts = _starts(
+            [
+                make_job(1, submit=0.0, runtime=100.0, procs=10),
+                make_job(2, submit=1.0, runtime=50.0, procs=10),
+            ]
+        )
+        assert starts[2] == 100.0
+
+    def test_head_starts_early_when_jobs_finish_early(self):
+        starts = _starts(
+            [
+                make_job(1, submit=0.0, runtime=40.0, estimate=100.0, procs=10),
+                make_job(2, submit=1.0, runtime=50.0, procs=10),
+            ]
+        )
+        assert starts[2] == 40.0
+
+    def test_multiple_releases_needed_for_shadow(self):
+        # Head needs 9 procs; two running jobs release 5+5 at 100 and 200.
+        starts = _starts(
+            [
+                make_job(1, submit=0.0, runtime=100.0, procs=5),
+                make_job(2, submit=0.0, runtime=200.0, procs=5),
+                make_job(3, submit=1.0, runtime=10.0, procs=9),
+            ]
+        )
+        assert starts[3] == 200.0
+
+
+class TestPriorityInteraction:
+    def test_sjf_reorders_queue_service(self):
+        # Machine of 10.  job1 (1 proc) runs for 500s; job2 (9 procs) frees
+        # 9 procs at t=50.  job5 (10 procs) can only start once job1 ends,
+        # so it blocks the FCFS queue; jobs 3 and 4 (9 procs each) compete
+        # for the 9 free processors at t=50.
+        jobs = [
+            make_job(1, submit=0.0, runtime=500.0, procs=1),
+            make_job(2, submit=0.0, runtime=50.0, procs=9),
+            make_job(5, submit=1.0, runtime=100.0, procs=10),
+            make_job(3, submit=2.0, runtime=90.0, procs=9),
+            make_job(4, submit=3.0, runtime=40.0, procs=9),
+        ]
+        fcfs = simulate(make_workload(jobs), EasyScheduler()).start_times()
+        sjf = simulate(make_workload(jobs), EasyScheduler(SJFPriority())).start_times()
+        # FCFS backfills the earlier-arrived job 3 past the blocked head.
+        assert fcfs[3] == 50.0
+        assert fcfs[4] > 50.0
+        # SJF serves the shorter job 4 first instead.
+        assert sjf[4] == 50.0
+        assert sjf[3] > 50.0

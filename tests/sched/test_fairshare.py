@@ -1,0 +1,94 @@
+"""Unit and behavioral tests for the fair-share priority policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.priority.fairshare import FairSharePriority
+from repro.sched.priority.policies import SJFPriority
+from repro.sim.engine import simulate
+
+from tests.conftest import make_job, make_workload
+
+
+class TestValidation:
+    def test_invalid_half_life_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FairSharePriority(half_life=0.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FairSharePriority(weight=-1.0)
+
+
+class TestUsageAccounting:
+    def test_usage_share_starts_at_zero(self):
+        policy = FairSharePriority()
+        assert policy.usage_share(1, now=0.0) == 0.0
+
+    def test_share_reflects_consumption(self):
+        policy = FairSharePriority()
+        policy.observe_finish(make_job(1, runtime=100.0, procs=4, user_id=1), 100.0)
+        policy.observe_finish(make_job(2, runtime=100.0, procs=1, user_id=2), 100.0)
+        assert policy.usage_share(1, 100.0) == pytest.approx(0.8)
+        assert policy.usage_share(2, 100.0) == pytest.approx(0.2)
+
+    def test_usage_decays_with_half_life(self):
+        policy = FairSharePriority(half_life=1000.0)
+        policy.observe_finish(make_job(1, runtime=100.0, procs=4, user_id=1), 0.0)
+        policy.observe_finish(make_job(2, runtime=100.0, procs=4, user_id=2), 1000.0)
+        # User 1's usage halved by the time user 2's accrued.
+        assert policy.usage_share(1, 1000.0) == pytest.approx(1.0 / 3.0)
+
+    def test_reset_clears_usage(self):
+        policy = FairSharePriority()
+        policy.observe_finish(make_job(1, runtime=10.0, user_id=1), 10.0)
+        policy.reset()
+        assert policy.usage_share(1, 10.0) == 0.0
+
+
+class TestOrdering:
+    def test_heavy_user_sorts_behind_light_user(self):
+        policy = FairSharePriority()
+        policy.observe_finish(make_job(9, runtime=1000.0, procs=8, user_id=1), 0.0)
+        hog_job = make_job(1, submit=0.0, user_id=1)
+        light_job = make_job(2, submit=5.0, user_id=2)  # submitted later!
+        ordered = policy.sort([hog_job, light_job], now=10.0)
+        assert [j.job_id for j in ordered] == [2, 1]
+
+    def test_zero_weight_reduces_to_base(self):
+        policy = FairSharePriority(SJFPriority(), weight=0.0)
+        policy.observe_finish(make_job(9, runtime=1000.0, procs=8, user_id=1), 0.0)
+        long_light = make_job(1, runtime=500.0, estimate=500.0, user_id=2)
+        short_hog = make_job(2, submit=1.0, runtime=10.0, estimate=10.0, user_id=1)
+        ordered = policy.sort([long_light, short_hog], now=10.0)
+        assert ordered[0].job_id == 2  # SJF wins; usage ignored
+
+
+class TestEndToEnd:
+    def test_fair_share_counteracts_a_hog(self):
+        # User 1 floods the queue; user 2 submits one job later.  Under
+        # plain FCFS the hog's backlog runs first; under fair-share, once
+        # the hog has consumed some machine time, user 2's job jumps the
+        # remaining backlog.
+        jobs = [
+            make_job(i, submit=float(i), runtime=200.0, procs=10, user_id=1)
+            for i in range(1, 9)
+        ]
+        jobs.append(make_job(9, submit=10.0, runtime=200.0, procs=10, user_id=2))
+        plain = simulate(make_workload(list(jobs)), EasyScheduler()).start_times()
+        fair = simulate(
+            make_workload(list(jobs)),
+            EasyScheduler(FairSharePriority(weight=10.0)),
+        ).start_times()
+        assert fair[9] < plain[9]
+
+    def test_all_jobs_complete_with_fair_share(self):
+        jobs = [
+            make_job(i, submit=i * 3.0, runtime=40.0, procs=(i % 7) + 1, user_id=(i % 3) + 1)
+            for i in range(1, 60)
+        ]
+        result = simulate(
+            make_workload(jobs), EasyScheduler(FairSharePriority())
+        )
+        assert result.metrics.overall.count == 59

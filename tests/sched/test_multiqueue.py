@@ -1,0 +1,117 @@
+"""Behavioral tests for the multi-queue (class-based) scheduler."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.backfill.multiqueue import MultiQueueScheduler, QueueClass
+from repro.sched.backfill.nobf import FCFSScheduler
+from repro.sim.engine import simulate
+
+from tests.conftest import make_job, make_workload
+
+
+def two_classes(short_cap=6, long_cap=6):
+    return [
+        QueueClass("short", 3600.0, short_cap),
+        QueueClass("long", math.inf, long_cap),
+    ]
+
+
+class TestConfiguration:
+    def test_class_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueueClass("x", 0.0, 4)
+        with pytest.raises(ConfigurationError):
+            QueueClass("x", 100.0, 0)
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ConfigurationError):
+            MultiQueueScheduler(
+                classes=[QueueClass("a", 100.0, 4), QueueClass("b", 50.0, 4)]
+            )
+
+    def test_default_classes_scale_to_machine(self):
+        scheduler = MultiQueueScheduler()
+        simulate(make_workload([make_job(1)]), scheduler)
+        assert [c.name for c in scheduler.classes] == ["short", "medium", "long"]
+        assert scheduler.classes[0].proc_cap == 10
+
+
+class TestClassIsolation:
+    def test_short_jobs_bypass_a_blocked_long_queue(self):
+        # Long job 1 fills the long class; long job 2 blocks behind it.
+        # Short job 3 (different class) starts immediately — the scenario
+        # where plain FCFS would leave it stuck behind job 2.
+        jobs = [
+            make_job(1, submit=0.0, runtime=10_000.0, procs=6),
+            make_job(2, submit=1.0, runtime=10_000.0, procs=6),
+            make_job(3, submit=2.0, runtime=100.0, procs=4),
+        ]
+        mq = simulate(
+            make_workload(jobs),
+            MultiQueueScheduler(classes=two_classes(short_cap=4, long_cap=6)),
+        ).start_times()
+        plain = simulate(make_workload(jobs), FCFSScheduler()).start_times()
+        assert mq[3] == 2.0
+        assert plain[3] == 10_000.0  # head-blocked without classes
+
+    def test_class_cap_enforced(self):
+        # Two 4-proc long jobs, cap 6: only one may run even though the
+        # 10-proc machine has room for both.
+        jobs = [
+            make_job(1, submit=0.0, runtime=5000.0, procs=4),
+            make_job(2, submit=0.0, runtime=5000.0, procs=4),
+        ]
+        starts = simulate(
+            make_workload(jobs),
+            MultiQueueScheduler(classes=two_classes(long_cap=6)),
+        ).start_times()
+        assert starts[1] == 0.0
+        assert starts[2] == 5000.0
+
+    def test_classification_uses_estimate_not_runtime(self):
+        scheduler = MultiQueueScheduler(classes=two_classes())
+        simulate(make_workload([make_job(99)]), scheduler)  # binds classes
+        short_job = make_job(1, runtime=100.0, estimate=100.0)
+        masquerading = make_job(2, runtime=100.0, estimate=7200.0)
+        assert scheduler.class_of(short_job) == 0
+        assert scheduler.class_of(masquerading) == 1
+
+    def test_machine_limit_still_applies(self):
+        # Caps may oversubscribe, but the physical machine cannot.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, procs=6),
+            make_job(2, submit=0.0, runtime=7200.0, procs=6),
+        ]
+        starts = simulate(
+            make_workload(jobs),
+            MultiQueueScheduler(classes=two_classes(short_cap=10, long_cap=10)),
+        ).start_times()
+        assert starts[1] == 0.0
+        assert starts[2] == 100.0
+
+
+class TestCompleteness:
+    def test_all_jobs_complete(self):
+        jobs = [
+            make_job(
+                i,
+                submit=i * 5.0,
+                runtime=60.0 if i % 3 else 7200.0,
+                procs=(i % 8) + 1,
+            )
+            for i in range(1, 50)
+        ]
+        result = simulate(make_workload(jobs), MultiQueueScheduler())
+        assert result.metrics.overall.count == 49
+
+    def test_deterministic(self):
+        jobs = [
+            make_job(i, submit=i * 4.0, runtime=100.0 * (1 + i % 5), procs=(i % 6) + 1)
+            for i in range(1, 40)
+        ]
+        a = simulate(make_workload(list(jobs)), MultiQueueScheduler()).start_times()
+        b = simulate(make_workload(list(jobs)), MultiQueueScheduler()).start_times()
+        assert a == b

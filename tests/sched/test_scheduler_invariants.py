@@ -1,0 +1,118 @@
+"""Cross-cutting invariants every scheduling discipline must satisfy.
+
+Parametrized over all four schedulers and a spread of workload shapes:
+single jobs, bursts, saturation, inaccurate estimates.  The machine and
+CompletedJob validators enforce non-oversubscription and exact runtimes
+internally, so a clean simulation already proves those; the assertions
+here cover the rest.
+"""
+
+import pytest
+
+from repro.sim.engine import simulate
+from repro.workload.generators.ctc import CTCGenerator
+from repro.workload.transforms import apply_estimates, scale_load
+from repro.workload.estimates import UserEstimateModel
+
+from tests.conftest import ALL_SCHEDULER_FACTORIES, make_job, make_workload
+
+
+def _burst(n=30, procs_mod=6):
+    return make_workload(
+        [
+            make_job(i, submit=0.0, runtime=20.0 + i, procs=(i % procs_mod) + 1)
+            for i in range(1, n + 1)
+        ]
+    )
+
+
+def _steady(n=50):
+    return make_workload(
+        [
+            make_job(i, submit=i * 9.0, runtime=40.0 + (i * 11) % 80, procs=(i * 3) % 9 + 1)
+            for i in range(1, n + 1)
+        ]
+    )
+
+
+def _inaccurate(n=50):
+    return make_workload(
+        [
+            make_job(
+                i,
+                submit=i * 9.0,
+                runtime=40.0 + (i * 11) % 80,
+                estimate=(1.0 + (i % 5)) * (40.0 + (i * 11) % 80),
+                procs=(i * 3) % 9 + 1,
+            )
+            for i in range(1, n + 1)
+        ]
+    )
+
+
+WORKLOADS = {
+    "burst": _burst,
+    "steady": _steady,
+    "inaccurate": _inaccurate,
+}
+
+
+@pytest.fixture(params=sorted(WORKLOADS))
+def workload(request):
+    return WORKLOADS[request.param]()
+
+
+class TestUniversalInvariants:
+    def test_every_job_completes_exactly_once(self, any_scheduler_factory, workload):
+        result = simulate(workload, any_scheduler_factory())
+        ids = [r.job.job_id for r in result.completed]
+        assert sorted(ids) == [j.job_id for j in workload]
+
+    def test_no_job_starts_before_submission(self, any_scheduler_factory, workload):
+        result = simulate(workload, any_scheduler_factory())
+        for record in result.completed:
+            assert record.start_time >= record.job.submit_time
+
+    def test_utilization_within_bounds(self, any_scheduler_factory, workload):
+        result = simulate(workload, any_scheduler_factory())
+        assert 0.0 < result.metrics.utilization <= 1.0
+
+    def test_deterministic_replay(self, any_scheduler_factory, workload):
+        a = simulate(workload, any_scheduler_factory()).start_times()
+        b = simulate(workload, any_scheduler_factory()).start_times()
+        assert a == b
+
+    def test_slowdowns_at_least_one(self, any_scheduler_factory, workload):
+        result = simulate(workload, any_scheduler_factory())
+        for record in result.completed:
+            assert record.bounded_slowdown >= 1.0 - 1e-12
+
+    def test_scheduler_queue_empty_at_end(self, any_scheduler_factory, workload):
+        scheduler = any_scheduler_factory()
+        simulate(workload, scheduler)
+        assert scheduler.queue_length == 0
+        assert scheduler.running_jobs == ()
+
+
+class TestRealisticWorkload:
+    """A slice of the CTC model with inaccurate estimates at high load."""
+
+    @pytest.fixture(scope="class")
+    def ctc_workload(self):
+        wl = CTCGenerator().generate(250, seed=42)
+        wl = scale_load(wl, 0.7)
+        return apply_estimates(wl, UserEstimateModel(well_fraction=0.5), seed=7)
+
+    def test_all_schedulers_complete_ctc_slice(self, any_scheduler_factory, ctc_workload):
+        result = simulate(ctc_workload, any_scheduler_factory())
+        assert len(result.completed) == len(ctc_workload)
+
+    def test_backfilling_beats_no_backfilling(self, ctc_workload):
+        from repro.sched.backfill.easy import EasyScheduler
+        from repro.sched.backfill.nobf import FCFSScheduler
+
+        nobf = simulate(ctc_workload, FCFSScheduler()).metrics
+        easy = simulate(ctc_workload, EasyScheduler()).metrics
+        assert (
+            easy.overall.mean_bounded_slowdown < nobf.overall.mean_bounded_slowdown
+        )

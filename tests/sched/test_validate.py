@@ -1,0 +1,101 @@
+"""Unit tests for the post-hoc schedule validators."""
+
+from repro.metrics.collector import CompletedJob
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.backfill.nobf import FCFSScheduler
+from repro.sched.validate import (
+    validate_conservative_guarantees,
+    validate_no_backfill,
+    validate_schedule,
+)
+from repro.sim.engine import simulate
+
+from tests.conftest import make_job, make_workload
+
+
+def _real_schedule():
+    jobs = [
+        make_job(i, submit=i * 5.0, runtime=30.0 + (i * 13) % 70, procs=(i * 3) % 8 + 1)
+        for i in range(1, 30)
+    ]
+    wl = make_workload(jobs)
+    return wl, simulate(wl, EasyScheduler()).completed
+
+
+class TestValidateSchedule:
+    def test_real_schedule_is_valid(self):
+        wl, records = _real_schedule()
+        assert validate_schedule(wl, records) == []
+
+    def test_detects_start_before_submit(self):
+        # The validator checks against the workload's authoritative job:
+        # a record carrying a forged copy (submit 0 instead of 100) must
+        # still be flagged.
+        job = make_job(1, submit=100.0, runtime=10.0)
+        wl = make_workload([job])
+        forged = make_job(1, submit=0.0, runtime=10.0)
+        record = CompletedJob(forged, 0.0, 10.0)
+        violations = validate_schedule(wl, [record])
+        assert any("before" in v for v in violations)
+
+    def test_detects_missing_jobs(self):
+        wl = make_workload([make_job(1), make_job(2, submit=1.0)])
+        record = CompletedJob(wl[0], 0.0, 100.0)
+        violations = validate_schedule(wl, [record])
+        assert any("never completed" in v for v in violations)
+
+    def test_detects_unknown_job(self):
+        wl = make_workload([make_job(1)])
+        stranger = make_job(99)
+        violations = validate_schedule(
+            wl, [CompletedJob(wl[0], 0.0, 100.0), CompletedJob(stranger, 0.0, 100.0)]
+        )
+        assert any("not part of the workload" in v for v in violations)
+
+    def test_detects_duplicate_completion(self):
+        wl = make_workload([make_job(1)])
+        record = CompletedJob(wl[0], 0.0, 100.0)
+        violations = validate_schedule(wl, [record, record])
+        assert any("more than once" in v for v in violations)
+
+    def test_detects_oversubscription(self):
+        # Two 6-proc jobs overlapping on a 10-proc machine.
+        a = make_job(1, submit=0.0, runtime=100.0, procs=6)
+        b = make_job(2, submit=0.0, runtime=100.0, procs=6)
+        wl = make_workload([a, b])
+        records = [CompletedJob(a, 0.0, 100.0), CompletedJob(b, 50.0, 150.0)]
+        violations = validate_schedule(wl, records)
+        assert any("oversubscribed" in v for v in violations)
+
+
+class TestDisciplineValidators:
+    def test_nobf_schedule_passes_order_check(self):
+        jobs = [
+            make_job(i, submit=i * 3.0, runtime=50.0, procs=(i % 5) + 1)
+            for i in range(1, 25)
+        ]
+        wl = make_workload(jobs)
+        records = simulate(wl, FCFSScheduler()).completed
+        assert validate_no_backfill(records) == []
+
+    def test_easy_schedule_fails_order_check_when_it_backfills(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, procs=6),
+            make_job(2, submit=1.0, runtime=100.0, procs=8),
+            make_job(3, submit=2.0, runtime=50.0, procs=4),
+        ]
+        wl = make_workload(jobs)
+        records = simulate(wl, EasyScheduler()).completed
+        assert validate_no_backfill(records) != []
+
+    def test_guarantee_validator(self):
+        wl, records = _real_schedule()
+        generous = {r.job.job_id: r.start_time + 10.0 for r in records}
+        assert validate_conservative_guarantees(records, generous) == []
+        stingy = {r.job.job_id: r.start_time - 10.0 for r in records}
+        assert len(validate_conservative_guarantees(records, stingy)) == len(records)
+
+    def test_guarantee_validator_flags_missing_entries(self):
+        wl, records = _real_schedule()
+        violations = validate_conservative_guarantees(records, {})
+        assert all("no recorded guarantee" in v for v in violations)

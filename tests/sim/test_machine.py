@@ -1,0 +1,107 @@
+"""Unit tests for the Machine resource model."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.errors import AllocationError
+
+from tests.conftest import make_job
+
+
+class TestAllocation:
+    def test_initial_state(self):
+        m = Machine(16)
+        assert m.free_procs == 16
+        assert m.busy_procs == 0
+        assert m.running_job_ids == frozenset()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(AllocationError):
+            Machine(0)
+
+    def test_allocate_reduces_free(self):
+        m = Machine(16)
+        m.allocate(make_job(1, procs=6), 0.0)
+        assert m.free_procs == 10
+        assert m.busy_procs == 6
+        assert m.allocation_of(1) == 6
+
+    def test_release_restores_free(self):
+        m = Machine(16)
+        job = make_job(1, procs=6)
+        m.allocate(job, 0.0)
+        m.release(job, 10.0)
+        assert m.free_procs == 16
+        assert m.allocation_of(1) == 0
+
+    def test_fits(self):
+        m = Machine(8)
+        m.allocate(make_job(1, procs=5), 0.0)
+        assert m.fits(make_job(2, procs=3))
+        assert not m.fits(make_job(3, procs=4))
+
+    def test_oversubscription_rejected(self):
+        m = Machine(8)
+        m.allocate(make_job(1, procs=5), 0.0)
+        with pytest.raises(AllocationError, match="needs"):
+            m.allocate(make_job(2, procs=4), 1.0)
+
+    def test_double_allocation_rejected(self):
+        m = Machine(8)
+        job = make_job(1, procs=2)
+        m.allocate(job, 0.0)
+        with pytest.raises(AllocationError, match="already running"):
+            m.allocate(job, 1.0)
+
+    def test_unknown_release_rejected(self):
+        m = Machine(8)
+        with pytest.raises(AllocationError, match="not running"):
+            m.release(make_job(1, procs=2), 0.0)
+
+    def test_time_cannot_go_backwards(self):
+        m = Machine(8)
+        m.allocate(make_job(1, procs=2), 10.0)
+        with pytest.raises(AllocationError, match="backwards"):
+            m.allocate(make_job(2, procs=2), 5.0)
+
+
+class TestUtilization:
+    def test_single_job_utilization(self):
+        m = Machine(10)
+        job = make_job(1, procs=5)
+        m.allocate(job, 0.0)
+        m.release(job, 100.0)
+        assert m.utilization() == pytest.approx(0.5)
+
+    def test_utilization_with_horizon_extension(self):
+        m = Machine(10)
+        job = make_job(1, procs=5)
+        m.allocate(job, 0.0)
+        m.release(job, 100.0)
+        # Machine idle from 100 to 200 -> utilization halves.
+        assert m.utilization(until=200.0) == pytest.approx(0.25)
+
+    def test_utilization_zero_horizon(self):
+        assert Machine(4).utilization() == 0.0
+
+    def test_utilization_counts_running_jobs_up_to_horizon(self):
+        m = Machine(10)
+        m.allocate(make_job(1, procs=10), 0.0)
+        assert m.utilization(until=50.0) == pytest.approx(1.0)
+
+    def test_horizon_before_machine_time_rejected(self):
+        m = Machine(10)
+        job = make_job(1, procs=5)
+        m.allocate(job, 0.0)
+        m.release(job, 100.0)
+        with pytest.raises(AllocationError, match="precedes"):
+            m.utilization(until=50.0)
+
+    def test_busy_area_accumulates_piecewise(self):
+        m = Machine(10)
+        a, b = make_job(1, procs=4), make_job(2, procs=6)
+        m.allocate(a, 0.0)
+        m.allocate(b, 10.0)  # [0,10): 4 busy
+        m.release(a, 20.0)  # [10,20): 10 busy
+        m.release(b, 30.0)  # [20,30): 6 busy
+        assert m.checkpoint_busy_area() == pytest.approx(4 * 10 + 10 * 10 + 6 * 10)

@@ -1,0 +1,100 @@
+"""Unit tests for time-series extraction from event traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sim.engine import simulate
+from repro.sim.series import (
+    busy_procs_series,
+    queue_depth_series,
+    sample_series,
+    sparkline,
+    time_weighted_mean,
+)
+from repro.sim.trace import EventTrace
+
+from tests.conftest import make_job, make_workload
+
+
+@pytest.fixture
+def traced_run():
+    wl = make_workload(
+        [
+            make_job(1, submit=0.0, runtime=100.0, procs=8),
+            make_job(2, submit=10.0, runtime=50.0, procs=8),
+            make_job(3, submit=20.0, runtime=30.0, procs=2),
+        ]
+    )
+    trace = EventTrace()
+    simulate(wl, EasyScheduler(), trace=trace)
+    return wl, trace
+
+
+class TestSeriesExtraction:
+    def test_queue_depth_matches_scenario(self, traced_run):
+        _, trace = traced_run
+        series = queue_depth_series(trace)
+        depths = {round(t): v for t, v in series}
+        # Job 2 queues behind job 1 from t=10 until t=100.
+        assert depths[10] == 1
+
+    def test_busy_procs_bounds(self, traced_run):
+        wl, trace = traced_run
+        series = busy_procs_series(trace, wl.max_procs)
+        values = [v for _, v in series]
+        assert max(values) <= wl.max_procs
+        assert min(values) >= 0
+        assert values[-1] == 0  # machine drains at the end
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ReproError):
+            queue_depth_series(EventTrace())
+
+
+class TestSampling:
+    def test_zero_order_hold(self):
+        series = [(0.0, 1.0), (10.0, 5.0), (20.0, 2.0)]
+        times, values = sample_series(series, n_samples=5)
+        assert times[0] == 0.0 and times[-1] == 20.0
+        assert values[0] == 1.0
+        assert values[-1] == 2.0
+        # Sample at t=10 picks the new level.
+        assert values[2] == 5.0
+
+    def test_single_point(self):
+        times, values = sample_series([(5.0, 3.0)], n_samples=4)
+        assert np.all(values == 3.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            sample_series([], 10)
+        with pytest.raises(ReproError):
+            sample_series([(0.0, 1.0)], 0)
+
+
+class TestSparkline:
+    def test_width_and_charset(self):
+        series = [(0.0, 0.0), (50.0, 10.0), (100.0, 5.0)]
+        line = sparkline(series, width=30)
+        assert len(line) == 30
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    def test_flat_zero_series(self):
+        assert sparkline([(0.0, 0.0), (10.0, 0.0)], width=10) == "▁" * 10
+
+
+class TestTimeWeightedMean:
+    def test_step_function_mean(self):
+        # 1.0 for 10s then 3.0 for 10s -> mean 2.0.
+        series = [(0.0, 1.0), (10.0, 3.0), (20.0, 3.0)]
+        assert time_weighted_mean(series) == pytest.approx(2.0)
+
+    def test_breakpoint_average_would_be_wrong(self):
+        # 0 for 99s then 100 for 1s: time-weighted mean is 1, not 50.
+        series = [(0.0, 0.0), (99.0, 100.0), (100.0, 100.0)]
+        assert time_weighted_mean(series) == pytest.approx(1.0)
+
+    def test_single_point(self):
+        assert time_weighted_mean([(5.0, 7.0)]) == 7.0

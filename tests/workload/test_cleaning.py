@@ -1,0 +1,91 @@
+"""Unit tests for flurry detection and removal."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.cleaning import find_flurries, remove_flurries
+from repro.workload.job import Workload
+
+from tests.conftest import make_job
+
+
+def _with_flurry():
+    jobs = []
+    job_id = 1
+    # Background: user 1 submits every hour.
+    for k in range(10):
+        jobs.append(make_job(job_id, submit=k * 3600.0, user_id=1))
+        job_id += 1
+    # Flurry: user 2 submits 30 jobs a minute apart starting at t=1000.
+    for k in range(30):
+        jobs.append(make_job(job_id, submit=1000.0 + k * 60.0, user_id=2))
+        job_id += 1
+    return Workload.from_jobs(jobs, max_procs=8, name="flurry-test")
+
+
+class TestFindFlurries:
+    def test_detects_the_burst(self):
+        flurries = find_flurries(_with_flurry(), threshold=20, window=600.0)
+        assert len(flurries) == 1
+        flurry = flurries[0]
+        assert flurry.user_id == 2
+        assert flurry.size == 30
+        assert flurry.start_time == 1000.0
+
+    def test_background_user_not_flagged(self):
+        flurries = find_flurries(_with_flurry(), threshold=5, window=600.0)
+        assert all(f.user_id != 1 for f in flurries)
+
+    def test_gap_splits_runs(self):
+        jobs = [make_job(i, submit=float(i) * 60.0, user_id=1) for i in range(1, 11)]
+        jobs += [
+            make_job(i, submit=100_000.0 + i * 60.0, user_id=1) for i in range(11, 21)
+        ]
+        wl = Workload.from_jobs(jobs, max_procs=8)
+        flurries = find_flurries(wl, threshold=10, window=600.0)
+        assert len(flurries) == 2
+
+    def test_below_threshold_ignored(self):
+        flurries = find_flurries(_with_flurry(), threshold=31, window=600.0)
+        assert flurries == []
+
+    def test_unknown_users_skipped(self):
+        jobs = [make_job(i, submit=float(i), user_id=-1) for i in range(1, 30)]
+        wl = Workload.from_jobs(jobs, max_procs=8)
+        assert find_flurries(wl, threshold=5, window=600.0) == []
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            find_flurries(_with_flurry(), threshold=1)
+        with pytest.raises(ConfigurationError):
+            find_flurries(_with_flurry(), window=0.0)
+
+
+class TestRemoveFlurries:
+    def test_removes_all_but_keep_count(self):
+        cleaned, flurries = remove_flurries(
+            _with_flurry(), threshold=20, window=600.0, keep_per_flurry=1
+        )
+        assert len(flurries) == 1
+        assert len(cleaned) == 10 + 1  # background + one kept flurry job
+
+    def test_keep_zero_drops_everything(self):
+        cleaned, _ = remove_flurries(
+            _with_flurry(), threshold=20, window=600.0, keep_per_flurry=0
+        )
+        assert all(j.user_id != 2 for j in cleaned)
+
+    def test_no_flurries_is_identity_content(self):
+        wl = _with_flurry()
+        cleaned, flurries = remove_flurries(wl, threshold=50, window=600.0)
+        assert flurries == []
+        assert len(cleaned) == len(wl)
+
+    def test_metadata_and_name(self):
+        cleaned, _ = remove_flurries(_with_flurry(), threshold=20, window=600.0)
+        assert cleaned.metadata["flurries_removed"] == 1
+        assert cleaned.name.endswith("-cln")
+
+    def test_negative_keep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            remove_flurries(_with_flurry(), keep_per_flurry=-1)

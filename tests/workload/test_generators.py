@@ -1,0 +1,184 @@
+"""Unit tests for the synthetic workload generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.categories import Category, category_counts
+from repro.workload.generators.base import (
+    CategoryMix,
+    LogUniform,
+    ModelGenerator,
+    PowerOfTwoWidths,
+    SyntheticTraceModel,
+)
+from repro.workload.generators.ctc import CTC_MAX_PROCS, CTCGenerator, ctc_model
+from repro.workload.generators.lublin import LublinGenerator
+from repro.workload.generators.sdsc import SDSC_MAX_PROCS, SDSCGenerator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestCategoryMix:
+    def test_valid_mix(self):
+        mix = CategoryMix(0.4, 0.1, 0.3, 0.2)
+        assert mix.as_tuple() == (0.4, 0.1, 0.3, 0.2)
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            CategoryMix(0.5, 0.5, 0.5, 0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CategoryMix(-0.1, 0.5, 0.3, 0.3)
+
+    def test_from_percentages_normalizes(self):
+        mix = CategoryMix.from_percentages(40, 10, 30, 20)
+        assert sum(mix.as_tuple()) == pytest.approx(1.0)
+
+
+class TestDistributions:
+    def test_loguniform_bounds(self, rng):
+        dist = LogUniform(10.0, 1000.0)
+        for _ in range(200):
+            value = dist.sample(rng)
+            assert 10.0 <= value <= 1000.0
+
+    def test_loguniform_analytic_mean(self, rng):
+        dist = LogUniform(10.0, 1000.0)
+        empirical = np.mean([dist.sample(rng) for _ in range(20000)])
+        assert empirical == pytest.approx(dist.mean, rel=0.05)
+
+    def test_loguniform_degenerate(self, rng):
+        dist = LogUniform(5.0, 5.0)
+        assert dist.sample(rng) == 5.0
+        assert dist.mean == 5.0
+
+    def test_loguniform_invalid_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogUniform(10.0, 5.0)
+
+    def test_width_bounds(self, rng):
+        dist = PowerOfTwoWidths(3, 20)
+        for _ in range(200):
+            assert 3 <= dist.sample(rng) <= 20
+
+    def test_width_power_of_two_bias(self, rng):
+        dist = PowerOfTwoWidths(1, 64, p2=0.9)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        powers = {1, 2, 4, 8, 16, 32, 64}
+        share = sum(1 for s in samples if s in powers) / len(samples)
+        assert share > 0.85
+
+    def test_width_analytic_mean(self, rng):
+        dist = PowerOfTwoWidths(1, 64, p2=0.75)
+        empirical = np.mean([dist.sample(rng) for _ in range(30000)])
+        assert empirical == pytest.approx(dist.mean, rel=0.05)
+
+    def test_width_invalid_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerOfTwoWidths(0, 8)
+
+
+class TestSyntheticTraceModel:
+    def test_ctc_model_offered_load_matches_target(self):
+        generator = CTCGenerator(target_load=0.6, daily_cycle_amplitude=0.0)
+        wl = generator.generate(4000, seed=3)
+        assert wl.offered_load == pytest.approx(0.6, rel=0.15)
+
+    def test_expected_area_is_consistent(self):
+        model = ctc_model(daily_cycle_amplitude=0.0)
+        generator = ModelGenerator(model)
+        wl = generator.generate(5000, seed=11)
+        empirical = np.mean([j.area for j in wl])
+        assert empirical == pytest.approx(model.expected_area, rel=0.1)
+
+    def test_determinism(self):
+        a = CTCGenerator().generate(200, seed=5)
+        b = CTCGenerator().generate(200, seed=5)
+        assert [(j.submit_time, j.runtime, j.procs) for j in a] == [
+            (j.submit_time, j.runtime, j.procs) for j in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = CTCGenerator().generate(200, seed=5)
+        b = CTCGenerator().generate(200, seed=6)
+        assert [j.runtime for j in a] != [j.runtime for j in b]
+
+    def test_exact_estimates_by_default(self):
+        wl = CTCGenerator().generate(100, seed=1)
+        assert all(j.estimate == j.runtime for j in wl)
+
+    def test_category_mix_calibration(self):
+        wl = CTCGenerator().generate(6000, seed=2)
+        counts = category_counts(wl)
+        total = len(wl)
+        assert counts[Category.SN] / total == pytest.approx(0.456, abs=0.03)
+        assert counts[Category.SW] / total == pytest.approx(0.118, abs=0.02)
+        assert counts[Category.LN] / total == pytest.approx(0.297, abs=0.03)
+        assert counts[Category.LW] / total == pytest.approx(0.128, abs=0.02)
+
+    def test_machine_sizes(self):
+        assert CTCGenerator().generate(10, seed=1).max_procs == CTC_MAX_PROCS == 430
+        assert SDSCGenerator().generate(10, seed=1).max_procs == SDSC_MAX_PROCS == 128
+
+    def test_widths_respect_machine(self):
+        wl = SDSCGenerator().generate(2000, seed=9)
+        assert max(j.procs for j in wl) <= 128
+
+    def test_negative_n_jobs_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            CTCGenerator().generate(-1)
+
+    def test_zero_jobs(self):
+        assert len(CTCGenerator().generate(0, seed=1)) == 0
+
+    def test_daily_cycle_increases_burstiness(self):
+        flat = CTCGenerator(daily_cycle_amplitude=0.0).generate(3000, seed=4)
+        cyclic = CTCGenerator(daily_cycle_amplitude=0.8).generate(3000, seed=4)
+        cv = lambda xs: np.std(xs) / np.mean(xs)
+        assert cv(cyclic.interarrival_times()) > cv(flat.interarrival_times())
+
+
+class TestLublinGenerator:
+    def test_basic_generation(self):
+        wl = LublinGenerator().generate(500, seed=3)
+        assert len(wl) == 500
+        assert wl.max_procs == 256
+
+    def test_serial_fraction(self):
+        wl = LublinGenerator(p_serial=0.4).generate(4000, seed=3)
+        serial = sum(1 for j in wl if j.procs == 1)
+        assert serial / len(wl) == pytest.approx(0.4, abs=0.05)
+
+    def test_widths_within_machine(self):
+        wl = LublinGenerator(max_procs=64).generate(1000, seed=1)
+        assert all(1 <= j.procs <= 64 for j in wl)
+
+    def test_runtime_cap(self):
+        wl = LublinGenerator(max_runtime=1000.0).generate(1000, seed=1)
+        assert max(j.runtime for j in wl) <= 1000.0
+
+    def test_larger_jobs_run_longer_on_average(self):
+        wl = LublinGenerator().generate(8000, seed=5)
+        small = [j.runtime for j in wl if j.procs <= 2]
+        large = [j.runtime for j in wl if j.procs >= 32]
+        assert np.mean(large) > np.mean(small)
+
+    def test_determinism(self):
+        a = LublinGenerator().generate(100, seed=8)
+        b = LublinGenerator().generate(100, seed=8)
+        assert [j.runtime for j in a] == [j.runtime for j in b]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LublinGenerator(p_serial=1.5)
+        with pytest.raises(ConfigurationError):
+            LublinGenerator(mean_interarrival=0.0)

@@ -1,0 +1,134 @@
+"""Unit tests for the runtime predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.job import Workload
+from repro.workload.predictors import BlendedEstimate, UserHistoryPredictor
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestBlendedEstimate:
+    def test_alpha_zero_keeps_user_estimate(self, rng):
+        job = make_job(1, runtime=100.0, estimate=800.0)
+        assert BlendedEstimate(0.0).estimate_for(job, rng) == pytest.approx(800.0)
+
+    def test_alpha_one_is_oracle(self, rng):
+        job = make_job(1, runtime=100.0, estimate=800.0)
+        assert BlendedEstimate(1.0).estimate_for(job, rng) == pytest.approx(100.0)
+
+    def test_half_alpha_is_geometric_mean(self, rng):
+        job = make_job(1, runtime=100.0, estimate=400.0)
+        assert BlendedEstimate(0.5).estimate_for(job, rng) == pytest.approx(200.0)
+
+    def test_never_below_runtime(self, rng):
+        job = make_job(1, runtime=123.0, estimate=999.0)
+        for alpha in (0.0, 0.3, 0.7, 1.0):
+            assert BlendedEstimate(alpha).estimate_for(job, rng) >= 123.0 - 1e-9
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlendedEstimate(1.5)
+
+    def test_underestimating_input_rejected(self, rng):
+        job = make_job(1, runtime=100.0, estimate=50.0)
+        with pytest.raises(ConfigurationError):
+            BlendedEstimate(0.5).estimate_for(job, rng)
+
+
+class TestUserHistoryPredictor:
+    def _workload(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, estimate=900.0, user_id=1),
+            make_job(2, submit=10.0, runtime=200.0, estimate=900.0, user_id=1),
+            make_job(3, submit=20.0, runtime=50.0, estimate=900.0, user_id=2),
+            make_job(4, submit=30.0, runtime=300.0, estimate=900.0, user_id=1),
+            make_job(5, submit=40.0, runtime=60.0, estimate=900.0, user_id=2),
+        ]
+        return Workload.from_jobs(jobs, max_procs=8)
+
+    def test_first_job_of_user_has_no_prediction(self):
+        predictions = UserHistoryPredictor().predict(self._workload())
+        assert 1 not in predictions
+        assert 3 not in predictions
+
+    def test_prediction_is_history_mean(self):
+        predictions = UserHistoryPredictor(history=2, min_prediction=1.0).predict(
+            self._workload()
+        )
+        assert predictions[2] == pytest.approx(100.0)  # user 1's first job
+        assert predictions[4] == pytest.approx(150.0)  # mean(100, 200)
+        assert predictions[5] == pytest.approx(50.0)  # user 2's first job
+
+    def test_safety_factor_scales(self):
+        predictions = UserHistoryPredictor(
+            history=2, safety_factor=2.0, min_prediction=1.0
+        ).predict(self._workload())
+        assert predictions[2] == pytest.approx(200.0)
+
+    def test_min_prediction_floor(self):
+        predictions = UserHistoryPredictor(min_prediction=500.0).predict(
+            self._workload()
+        )
+        assert all(p >= 500.0 for p in predictions.values())
+
+    def test_apply_reports_kills(self):
+        predicted, diag = UserHistoryPredictor(
+            history=1, min_prediction=1.0
+        ).apply(self._workload())
+        # Job 2 (runtime 200) gets prediction 100 -> would be killed.
+        assert diag["would_kill"] >= 1
+        assert diag["predicted"] == 3
+        assert diag["kept_user_estimate"] == 2
+        job2 = next(j for j in predicted if j.job_id == 2)
+        assert job2.estimate == pytest.approx(100.0)
+        assert job2.effective_runtime == pytest.approx(100.0)  # truncated
+
+    def test_unknown_users_keep_estimates(self):
+        jobs = [make_job(i, submit=i * 1.0, estimate=500.0, user_id=-1) for i in (1, 2)]
+        wl = Workload.from_jobs(jobs, max_procs=8)
+        predictions = UserHistoryPredictor().predict(wl)
+        assert predictions == {}
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserHistoryPredictor(history=0)
+        with pytest.raises(ConfigurationError):
+            UserHistoryPredictor(safety_factor=0.0)
+
+    def test_predictions_improve_mean_accuracy(self):
+        # On a workload with stable per-user runtimes and wild estimates,
+        # predictions land much closer to the truth than user estimates.
+        jobs = []
+        job_id = 1
+        for submit in range(0, 200, 10):
+            user = (submit // 10) % 4 + 1
+            runtime = 100.0 * user  # each user has a characteristic runtime
+            jobs.append(
+                make_job(
+                    job_id,
+                    submit=float(submit),
+                    runtime=runtime,
+                    estimate=runtime * 10,
+                    user_id=user,
+                )
+            )
+            job_id += 1
+        wl = Workload.from_jobs(jobs, max_procs=8)
+        predicted, _ = UserHistoryPredictor(history=2, min_prediction=1.0).apply(wl)
+        def mean_abs_log_error(workload):
+            import math
+
+            errors = [
+                abs(math.log(j.estimate / j.runtime)) for j in workload
+            ]
+            return sum(errors) / len(errors)
+
+        assert mean_abs_log_error(predicted) < mean_abs_log_error(wl) / 2

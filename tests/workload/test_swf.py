@@ -1,0 +1,171 @@
+"""Unit tests for the SWF reader/writer."""
+
+import io
+
+import pytest
+
+from repro.errors import SWFFormatError
+from repro.workload.job import Workload
+from repro.workload.swf import (
+    SWFHeader,
+    format_swf_line,
+    parse_swf_line,
+    read_swf,
+    workload_from_text,
+    write_swf,
+)
+
+from tests.conftest import make_job
+
+SAMPLE = """\
+; MaxProcs: 64
+; MaxJobs: 3
+; Note: hand-written sample
+1 0 -1 100 4 -1 -1 4 120 -1 1 7 2 -1 1 -1 -1 -1
+2 50 -1 200 -1 -1 -1 8 300 -1 1 8 2 -1 1 -1 -1 -1
+3 80 -1 30 2 -1 -1 -1 -1 -1 1 9 3 -1 2 -1 -1 -1
+"""
+
+
+class TestParseLine:
+    def test_full_line(self):
+        values = parse_swf_line("1 0 5 100 4 90 128 4 120 256 1 7 2 3 1 0 -1 -1")
+        assert len(values) == 18
+        assert values[0] == 1
+        assert values[8] == 120
+
+    def test_short_line_padded_with_minus_one(self):
+        values = parse_swf_line("1 0 5 100")
+        assert len(values) == 18
+        assert values[17] == -1.0
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(SWFFormatError, match="empty"):
+            parse_swf_line("   ")
+
+    def test_too_many_fields_rejected(self):
+        with pytest.raises(SWFFormatError, match="at most"):
+            parse_swf_line(" ".join(["1"] * 19))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SWFFormatError, match="non-numeric"):
+            parse_swf_line("1 0 x 100")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(SWFFormatError, match="line 42"):
+            parse_swf_line("bad line", line_number=42)
+
+
+class TestReadSWF:
+    def test_reads_sample(self):
+        wl = workload_from_text(SAMPLE)
+        assert len(wl) == 3
+        assert wl.max_procs == 64
+
+    def test_header_max_procs_used(self):
+        wl = workload_from_text(SAMPLE)
+        assert wl.max_procs == 64
+        assert wl.metadata["swf_header"]["MaxProcs"] == "64"
+
+    def test_explicit_max_procs_overrides_header(self):
+        wl = read_swf(io.StringIO(SAMPLE), max_procs=32)
+        assert wl.max_procs == 32
+
+    def test_requested_procs_preferred_over_allocated(self):
+        wl = workload_from_text(SAMPLE)
+        assert wl[1].procs == 8  # allocated is -1, requested is 8
+
+    def test_allocated_used_when_requested_missing(self):
+        wl = workload_from_text(SAMPLE)
+        assert wl[2].procs == 2
+
+    def test_estimate_from_requested_time(self):
+        wl = workload_from_text(SAMPLE)
+        assert wl[0].estimate == 120.0
+
+    def test_estimate_falls_back_to_runtime(self):
+        wl = workload_from_text(SAMPLE)
+        assert wl[2].estimate == 30.0
+
+    def test_unusable_jobs_skipped_and_counted(self):
+        text = SAMPLE + "4 90 -1 -1 4 -1 -1 4 100 -1 0 1 1 -1 1 -1 -1 -1\n"
+        wl = workload_from_text(text)
+        assert len(wl) == 3
+        assert wl.metadata["skipped"] == 1
+
+    def test_too_wide_jobs_clamped_out(self):
+        text = "; MaxProcs: 8\n1 0 -1 100 -1 -1 -1 16 100 -1 1 1 1 -1 1 -1 -1 -1\n"
+        wl = workload_from_text(text)
+        assert len(wl) == 0
+        assert wl.metadata["skipped"] == 1
+
+    def test_max_jobs_truncates(self):
+        wl = read_swf(io.StringIO(SAMPLE), max_jobs=2)
+        assert len(wl) == 2
+
+    def test_infers_max_procs_without_header(self):
+        text = "1 0 -1 100 -1 -1 -1 16 100 -1 1 1 1 -1 1 -1 -1 -1\n"
+        wl = workload_from_text(text)
+        assert wl.max_procs == 16
+
+    def test_no_header_no_jobs_raises(self):
+        with pytest.raises(SWFFormatError, match="MaxProcs"):
+            workload_from_text("")
+
+    def test_reads_from_path(self, tmp_path):
+        path = tmp_path / "sample.swf"
+        path.write_text(SAMPLE)
+        wl = read_swf(path)
+        assert len(wl) == 3
+        assert wl.name == "sample"
+
+    def test_unsorted_lines_are_sorted(self):
+        text = (
+            "; MaxProcs: 8\n"
+            "2 50 -1 10 1 -1 -1 1 10 -1 1 1 1 -1 1 -1 -1 -1\n"
+            "1 10 -1 10 1 -1 -1 1 10 -1 1 1 1 -1 1 -1 -1 -1\n"
+        )
+        wl = workload_from_text(text)
+        assert [j.job_id for j in wl] == [1, 2]
+
+
+class TestWriteSWF:
+    def test_roundtrip(self, tmp_path):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, estimate=200.0, procs=4, user_id=3),
+            make_job(2, submit=60.0, runtime=30.0, estimate=30.0, procs=8, user_id=4),
+        ]
+        original = Workload.from_jobs(jobs, max_procs=16, name="rt")
+        path = tmp_path / "rt.swf"
+        write_swf(original, path)
+        restored = read_swf(path)
+        assert restored.max_procs == 16
+        assert len(restored) == 2
+        for a, b in zip(original, restored):
+            assert a.job_id == b.job_id
+            assert a.submit_time == pytest.approx(b.submit_time)
+            assert a.runtime == pytest.approx(b.runtime)
+            assert a.estimate == pytest.approx(b.estimate)
+            assert a.procs == b.procs
+            assert a.user_id == b.user_id
+
+    def test_write_to_stream(self):
+        wl = Workload.from_jobs([make_job(1)], max_procs=4)
+        buffer = io.StringIO()
+        write_swf(wl, buffer)
+        text = buffer.getvalue()
+        assert "; MaxProcs: 4" in text
+        assert text.strip().endswith("-1")
+
+    def test_header_roundtrips_custom_fields(self):
+        wl = Workload.from_jobs([make_job(1)], max_procs=4)
+        header = SWFHeader()
+        header.set("Computer", "IBM SP2")
+        buffer = io.StringIO()
+        write_swf(wl, buffer, header=header)
+        restored = read_swf(io.StringIO(buffer.getvalue()))
+        assert restored.metadata["swf_header"]["Computer"] == "IBM SP2"
+
+    def test_format_line_has_18_fields(self):
+        line = format_swf_line(make_job(1))
+        assert len(line.split()) == 18

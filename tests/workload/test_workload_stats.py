@@ -1,0 +1,95 @@
+"""Unit tests for workload characterization statistics."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generators.ctc import CTCGenerator
+from repro.workload.job import Workload
+from repro.workload.stats import (
+    characterization_table,
+    characterize,
+    hourly_arrival_profile,
+    runtime_histogram,
+    width_histogram,
+)
+
+from tests.conftest import make_job
+
+
+@pytest.fixture(scope="module")
+def ctc():
+    return CTCGenerator().generate(1500, seed=4)
+
+
+class TestCharacterize:
+    def test_headline_numbers(self, ctc):
+        info = characterize(ctc)
+        assert info["jobs"] == 1500
+        assert info["max_procs"] == 430
+        assert 0.3 < info["offered_load"] < 1.2
+        assert sum(info["category_pct"].values()) == pytest.approx(100.0)
+
+    def test_estimate_accuracy_split(self, ctc):
+        info = characterize(ctc)
+        # Exact estimates: everything is well estimated, factor 1.
+        assert info["estimate_accuracy"]["well_pct"] == 100.0
+        assert info["estimate_accuracy"]["median_factor"] == pytest.approx(1.0)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            characterize(Workload((), max_procs=4))
+
+    def test_runtime_summary_ordering(self, ctc):
+        rt = characterize(ctc)["runtime_seconds"]
+        assert rt["min"] <= rt["median"] <= rt["max"]
+
+
+class TestHistograms:
+    def test_runtime_histogram_covers_all_jobs(self, ctc):
+        histogram = runtime_histogram(ctc)
+        assert sum(histogram.values()) == len(ctc)
+
+    def test_runtime_buckets_are_decades(self):
+        jobs = [
+            make_job(1, runtime=5.0),
+            make_job(2, submit=1.0, runtime=50.0),
+            make_job(3, submit=2.0, runtime=5000.0),
+        ]
+        histogram = runtime_histogram(Workload.from_jobs(jobs, max_procs=4))
+        assert histogram == {"[1, 10)s": 1, "[10, 100)s": 1, "[1000, 10000)s": 1}
+
+    def test_width_histogram_buckets(self):
+        jobs = [
+            make_job(1, procs=1),
+            make_job(2, submit=1.0, procs=2),
+            make_job(3, submit=2.0, procs=3),
+            make_job(4, submit=3.0, procs=8),
+            make_job(5, submit=4.0, procs=9),
+        ]
+        histogram = width_histogram(Workload.from_jobs(jobs, max_procs=16))
+        assert histogram == {"1": 1, "2": 1, "3-4": 1, "5-8": 1, "9-16": 1}
+
+    def test_width_histogram_covers_all_jobs(self, ctc):
+        assert sum(width_histogram(ctc).values()) == len(ctc)
+
+
+class TestArrivalProfile:
+    def test_profile_has_24_buckets_summing_to_jobs(self, ctc):
+        profile = hourly_arrival_profile(ctc)
+        assert len(profile) == 24
+        assert sum(profile) == len(ctc)
+
+    def test_daily_cycle_visible(self):
+        # Strong daily cycle -> daytime hours should clearly dominate.
+        wl = CTCGenerator(daily_cycle_amplitude=0.9).generate(4000, seed=2)
+        profile = hourly_arrival_profile(wl)
+        day = sum(profile[9:18])
+        night = sum(profile[0:6])
+        assert day > night
+
+
+class TestTable:
+    def test_renders(self, ctc):
+        text = characterization_table(ctc).render(title="CTC")
+        assert "offered load" in text
+        assert "category SN (%)" in text

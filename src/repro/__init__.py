@@ -90,6 +90,8 @@ from repro.grid import (
 from repro.preempt import PreemptiveSimulator, SelectiveSuspensionScheduler
 from repro.metrics.categories import Category, EstimateQuality, categorize, estimate_quality
 from repro.metrics.collector import CompletedJob, RunMetrics, summarize
+from repro.exec import Cell, CellExecutor, ExecutionReport, ResultStore, run_cells
+from repro.experiments.config import WorkloadSpec
 
 __all__ = [
     "__version__",
@@ -178,4 +180,11 @@ __all__ = [
     "CompletedJob",
     "RunMetrics",
     "summarize",
+    # execution (Cell API)
+    "Cell",
+    "CellExecutor",
+    "ExecutionReport",
+    "ResultStore",
+    "run_cells",
+    "WorkloadSpec",
 ]

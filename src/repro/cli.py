@@ -20,8 +20,9 @@ import time
 
 from repro._version import __version__
 from repro.errors import ReproError
+from repro.exec import ExecutionReport, configure as configure_executor, run_cells
 from repro.experiments.config import DEFAULT_PARAMS, ExperimentParams
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, collect_cells, run_experiment
 from repro.experiments.runner import SCHEDULER_KINDS, make_scheduler, make_workload
 from repro.experiments.config import WorkloadSpec
 from repro.sched.priority.policies import PRIORITY_POLICIES
@@ -29,6 +30,56 @@ from repro.sim.engine import simulate
 from repro.workload.swf import read_swf, write_swf
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
+    """The execution-layer flags shared by ``experiment`` and ``report``."""
+    subparser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate cells over N worker processes (default: 1, serial)",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist per-cell results as JSON under DIR and reuse them "
+        "across invocations",
+    )
+    subparser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir: neither read nor write persisted results",
+    )
+
+
+def _configure_execution(args: argparse.Namespace):
+    """Shape the default executor from the parsed execution flags."""
+    if args.parallel < 1:
+        raise ReproError(f"--parallel must be >= 1, got {args.parallel}")
+    cache_dir = None if args.no_cache else args.cache_dir
+    progress = _progress_printer() if sys.stderr.isatty() else None
+    return configure_executor(
+        parallel=args.parallel, cache_dir=cache_dir, progress=progress
+    )
+
+
+def _progress_printer():
+    def emit(report: ExecutionReport) -> None:
+        sys.stderr.write(f"\r[exec] {report.render()}\x1b[K")
+        if report.completed >= report.cells_total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    return emit
+
+
+def _print_execution_summary(executor) -> None:
+    session = executor.session
+    if session.cells_total:
+        print(f"[exec] {session.render()}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--traces", nargs="+", default=list(DEFAULT_PARAMS.traces),
         choices=["CTC", "SDSC", "LUBLIN"],
     )
+    _add_execution_flags(exp)
 
     sim = sub.add_parser("simulate", help="simulate one workload/scheduler pair")
     sim.add_argument("--trace", default="CTC", choices=["CTC", "SDSC", "LUBLIN"])
@@ -100,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--traces", nargs="+", default=list(DEFAULT_PARAMS.traces),
         choices=["CTC", "SDSC", "LUBLIN"],
     )
+    _add_execution_flags(report)
 
     char = sub.add_parser(
         "characterize", help="print a workload's characterization statistics"
@@ -122,17 +175,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         traces=tuple(args.traces),
     )
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    executor = _configure_execution(args)
+    # Fan the union of every requested experiment's cell plan out first so
+    # shared cells are simulated once, with maximum parallelism.
+    run_cells(collect_cells(ids, params))
     failures = 0
     for experiment_id in ids:
         started = time.perf_counter()
         result = run_experiment(experiment_id, params)
         elapsed = time.perf_counter() - started
         print(result.render())
-        print(f"\n({experiment_id} completed in {elapsed:.1f}s)\n")
+        print()
+        # Wall-clock is diagnostics, not experiment output: keep it on
+        # stderr so stdout is byte-identical run to run (and serial vs
+        # --parallel), which scripts and the acceptance checks rely on.
+        print(f"({experiment_id} completed in {elapsed:.1f}s)", file=sys.stderr)
         if not result.all_trends_hold:
             failures += 1
     if failures:
         print(f"{failures} experiment(s) had trend checks that did not hold.")
+    _print_execution_summary(executor)
     return 0
 
 
@@ -194,14 +256,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
         traces=tuple(args.traces),
     )
     ids = args.ids or list(EXPERIMENTS)
+    executor = _configure_execution(args)
+    run_cells(collect_cells(ids, params))
     writer = ReportWriter(args.output)
     for experiment_id in ids:
         started = time.perf_counter()
         result = run_experiment(experiment_id, params)
         writer.add(result)
-        print(f"{experiment_id}: written ({time.perf_counter() - started:.1f}s)")
+        elapsed = time.perf_counter() - started
+        print(f"{experiment_id}: written")
+        # Timing goes to stderr: stdout stays byte-identical run to run.
+        print(f"({experiment_id} written in {elapsed:.1f}s)", file=sys.stderr)
     index = writer.finalize()
     print(f"index: {index}")
+    _print_execution_summary(executor)
     return 0
 
 

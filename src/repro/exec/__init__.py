@@ -1,0 +1,109 @@
+"""Parallel experiment execution: typed cells, a process-pool executor,
+and a persistent result store.
+
+The public surface:
+
+* :class:`Cell` — the frozen, hashable unit of simulation work
+  (workload spec x scheduler kind x priority x options) with a stable
+  content hash;
+* :class:`CellExecutor` — fans batches of cells out over worker
+  processes with per-cell crash retry and deterministic result order;
+* :class:`ResultStore` — layered (memory + JSON-on-disk) cache of
+  per-cell :class:`~repro.metrics.collector.RunMetrics`, schema-versioned
+  and corrupt-entry tolerant;
+* :func:`run_cells` — the batch entry point the experiment harness uses:
+  executes against the process-wide default executor;
+* :func:`configure` — rebuild the default executor (worker count, cache
+  directory, progress callback); this is what the CLI's ``--parallel`` /
+  ``--cache-dir`` flags call.
+
+Typical use::
+
+    from repro.exec import Cell, run_cells
+    from repro.experiments.config import WorkloadSpec
+
+    cells = [Cell.make(WorkloadSpec(seed=s), "easy", "SJF") for s in (1, 2, 3)]
+    for metrics in run_cells(cells):
+        print(metrics.overall.mean_bounded_slowdown)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.exec.cell import CACHE_SCHEMA_VERSION, Cell
+from repro.exec.executor import CellExecutor, ExecutionReport, simulate_cell
+from repro.exec.serialize import metrics_digest
+from repro.exec.store import ResultStore, StoredResult, StoreStats
+from repro.metrics.collector import RunMetrics
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "Cell",
+    "CellExecutor",
+    "ExecutionReport",
+    "ResultStore",
+    "StoredResult",
+    "StoreStats",
+    "simulate_cell",
+    "metrics_digest",
+    "run_cells",
+    "configure",
+    "default_executor",
+    "default_store",
+]
+
+_default_executor: CellExecutor | None = None
+
+
+def default_executor() -> CellExecutor:
+    """The process-wide executor :func:`run_cells` uses (lazily created).
+
+    Starts out serial and memory-only; reshape it with :func:`configure`.
+    """
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = CellExecutor()
+    return _default_executor
+
+
+def default_store() -> ResultStore:
+    """The result store backing the default executor."""
+    return default_executor().store
+
+
+def configure(
+    *,
+    parallel: int = 1,
+    cache_dir=None,
+    max_retries: int = 1,
+    progress: Callable[[ExecutionReport], None] | None = None,
+) -> CellExecutor:
+    """Replace the default executor and return it.
+
+    ``parallel`` sets the worker-process count (1 = serial),
+    ``cache_dir`` enables the persistent disk layer, ``progress`` is
+    invoked with the live :class:`ExecutionReport` after each completed
+    cell.  The previous default's in-memory results are discarded.
+    """
+    global _default_executor
+    _default_executor = CellExecutor(
+        max_workers=parallel,
+        store=ResultStore(cache_dir=cache_dir),
+        max_retries=max_retries,
+        progress=progress,
+    )
+    return _default_executor
+
+
+def run_cells(
+    cells: Iterable[Cell], *, executor: CellExecutor | None = None
+) -> list[RunMetrics]:
+    """Execute a batch of cells; returns their metrics in input order.
+
+    This is the batch entry point experiments use.  Results come from
+    the executor's store when already known; misses are simulated —
+    in parallel when the executor (default: the process-wide one, see
+    :func:`configure`) has ``max_workers > 1``.
+    """
+    return (executor or default_executor()).execute(cells)

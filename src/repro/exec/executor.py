@@ -1,0 +1,263 @@
+"""The cell executor: fan simulation cells out over worker processes.
+
+:class:`CellExecutor` takes a batch of :class:`~repro.exec.cell.Cell`
+work items, answers what it can from its :class:`ResultStore`, and
+simulates the rest — serially for ``max_workers=1``, otherwise over a
+``concurrent.futures.ProcessPoolExecutor``.  Guarantees:
+
+* **deterministic results** — output order matches input order, and the
+  simulation itself is seeded, so the parallel path returns float-
+  identical metrics to the serial path;
+* **crash resilience** — a worker process dying (OOM kill, segfault)
+  breaks the pool; the executor rebuilds the pool and retries the
+  affected cells up to ``max_retries`` times, then falls back to
+  simulating in-process, so one bad worker never loses a batch;
+* **progress/timing reporting** — an :class:`ExecutionReport` (cells
+  completed, cache hit rate, events/sec) is updated per completion and
+  exposed both per-batch (``last_report``) and cumulatively
+  (``session``).
+
+Exceptions raised *by the simulation itself* (configuration errors,
+invariant violations) are deterministic and re-raised, not retried.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.exec.cell import Cell
+from repro.exec.store import ResultStore, StoredResult
+from repro.metrics.collector import RunMetrics
+
+__all__ = ["ExecutionReport", "CellExecutor", "simulate_cell"]
+
+
+def simulate_cell(cell: Cell) -> StoredResult:
+    """Simulate one cell from scratch (no caching) — the worker function.
+
+    Runs in worker processes during parallel execution and inline for the
+    serial path; workload construction is memoized per process through
+    the runner's bounded workload cache.
+    """
+    from repro.experiments.runner import cached_workload, make_scheduler
+    from repro.sim.engine import simulate
+
+    started = time.perf_counter()
+    result = simulate(
+        cached_workload(cell.spec),
+        make_scheduler(cell.kind, cell.priority, **cell.options_dict),
+    )
+    return StoredResult(
+        metrics=result.metrics,
+        events_processed=result.events_processed,
+        sim_seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass
+class ExecutionReport:
+    """Progress and timing facts for one batch (or a whole session)."""
+
+    cells_total: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    retries: int = 0
+    events_processed: int = 0
+    sim_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of completed cells answered from the store."""
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Fresh simulation events per wall-clock second (0 when idle)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.elapsed_seconds
+
+    def absorb(self, other: "ExecutionReport") -> None:
+        """Accumulate another report's counters into this one."""
+        self.cells_total += other.cells_total
+        self.completed += other.completed
+        self.cache_hits += other.cache_hits
+        self.simulated += other.simulated
+        self.retries += other.retries
+        self.events_processed += other.events_processed
+        self.sim_seconds += other.sim_seconds
+        self.elapsed_seconds += other.elapsed_seconds
+
+    def render(self) -> str:
+        """One-line human summary used by progress/summary printers."""
+        return (
+            f"cells {self.completed}/{self.cells_total}"
+            f" | {self.simulated} simulated"
+            f" | {self.cache_hits} cached ({self.cache_hit_rate:.0%} hit rate)"
+            f" | {_si(self.events_processed)} events"
+            f" ({_si(self.events_per_second)}/s)"
+            f" | {self.elapsed_seconds:.1f}s"
+        )
+
+
+def _si(value: float) -> str:
+    """Compact SI-style number formatting (1234567 -> '1.2M')."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.1f}{suffix}"
+    return f"{value:.0f}" if value == int(value) else f"{value:.1f}"
+
+
+class CellExecutor:
+    """Executes batches of cells against a result store.
+
+    Parameters:
+
+    * ``max_workers`` — 1 (default) runs everything in-process; N > 1
+      fans misses out over N worker processes.
+    * ``store`` — the :class:`ResultStore` consulted before simulating
+      and updated after; a private memory-only store if omitted.
+    * ``max_retries`` — how many times a cell is re-dispatched after a
+      worker-pool crash before the in-process fallback runs it.
+    * ``progress`` — optional callable receiving the live
+      :class:`ExecutionReport` after every completed cell.
+    * ``pool_factory`` — test seam; ``ProcessPoolExecutor`` by default.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 1,
+        store: ResultStore | None = None,
+        max_retries: int = 1,
+        progress: Callable[[ExecutionReport], None] | None = None,
+        pool_factory: Callable[[int], object] | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_workers = max_workers
+        self.store = store if store is not None else ResultStore()
+        self.max_retries = max_retries
+        self.progress = progress
+        self.pool_factory = pool_factory or (
+            lambda workers: ProcessPoolExecutor(max_workers=workers)
+        )
+        self.last_report = ExecutionReport()
+        self.session = ExecutionReport()
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, cells: Iterable[Cell]) -> list[RunMetrics]:
+        """Run a batch of cells; returns metrics in input order.
+
+        Duplicate cells are simulated once; cache hits cost no
+        simulation.  The batch's :class:`ExecutionReport` is left on
+        ``last_report`` and folded into ``session``.
+        """
+        ordered = list(cells)
+        started = time.perf_counter()
+        report = ExecutionReport(cells_total=len(ordered))
+        self.last_report = report
+
+        resolved: dict[Cell, StoredResult] = {}
+        misses: list[Cell] = []
+        for cell in dict.fromkeys(ordered):
+            stored = self.store.get(cell)
+            if stored is not None:
+                resolved[cell] = stored
+                report.cache_hits += 1
+                report.completed += 1
+            else:
+                misses.append(cell)
+        report.elapsed_seconds = time.perf_counter() - started
+        if report.completed:
+            self._emit(report)
+
+        if misses:
+            if self.max_workers == 1 or len(misses) == 1:
+                runner = self._run_serial
+            else:
+                runner = self._run_parallel
+            for cell, stored in runner(misses, report, started):
+                self.store.put(cell, stored)
+                resolved[cell] = stored
+
+        report.elapsed_seconds = time.perf_counter() - started
+        self.session.absorb(report)
+        return [resolved[cell].metrics for cell in ordered]
+
+    # -- execution strategies -------------------------------------------------
+
+    def _run_serial(
+        self, misses: Sequence[Cell], report: ExecutionReport, started: float
+    ) -> list[tuple[Cell, StoredResult]]:
+        out = []
+        for cell in misses:
+            stored = simulate_cell(cell)
+            out.append((cell, stored))
+            self._note_simulated(report, stored, started)
+        return out
+
+    def _run_parallel(
+        self, misses: Sequence[Cell], report: ExecutionReport, started: float
+    ) -> list[tuple[Cell, StoredResult]]:
+        attempts = {cell: 0 for cell in misses}
+        queue = list(misses)
+        out: dict[Cell, StoredResult] = {}
+        pool = self.pool_factory(min(self.max_workers, len(misses)))
+        try:
+            while queue:
+                futures = {pool.submit(simulate_cell, cell): cell for cell in queue}
+                queue = []
+                pool_broken = False
+                for future in as_completed(futures):
+                    cell = futures[future]
+                    try:
+                        stored = future.result()
+                    except (BrokenExecutor, MemoryError, OSError):
+                        # The pool (or a worker) died; every cell whose
+                        # future was lost comes back through here.
+                        pool_broken = True
+                        attempts[cell] += 1
+                        report.retries += 1
+                        if attempts[cell] > self.max_retries:
+                            stored = simulate_cell(cell)  # in-process fallback
+                        else:
+                            queue.append(cell)
+                            continue
+                    except ReproError:
+                        # Deterministic simulation failure: retrying is
+                        # pointless, surface it to the caller.
+                        raise
+                    out[cell] = stored
+                    self._note_simulated(report, stored, started)
+                if pool_broken and queue:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self.pool_factory(min(self.max_workers, len(queue)))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [(cell, out[cell]) for cell in misses]
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _note_simulated(
+        self, report: ExecutionReport, stored: StoredResult, started: float
+    ) -> None:
+        report.simulated += 1
+        report.completed += 1
+        report.events_processed += stored.events_processed
+        report.sim_seconds += stored.sim_seconds
+        report.elapsed_seconds = time.perf_counter() - started
+        self._emit(report)
+
+    def _emit(self, report: ExecutionReport) -> None:
+        if self.progress is not None:
+            self.progress(report)

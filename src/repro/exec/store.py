@@ -1,0 +1,164 @@
+"""Persistent, layered result store for simulation cells.
+
+Two layers under one interface:
+
+* an **in-process memory layer** (a plain dict keyed by cell hash) — the
+  successor of the old module-level ``_cell_cache`` in
+  ``repro.experiments.runner``, now with a single owner;
+* an optional **disk layer**: one JSON file per cell hash under a cache
+  directory, schema-versioned and corrupt-entry tolerant — an unreadable
+  or stale file is dropped and the cell is simply re-simulated, never
+  fatal.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent harness
+invocations sharing one cache directory cannot observe torn files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exec.cell import CACHE_SCHEMA_VERSION, Cell
+from repro.exec.serialize import metrics_from_payload, metrics_to_payload
+from repro.metrics.collector import RunMetrics
+
+__all__ = ["StoredResult", "StoreStats", "ResultStore"]
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """A cell's simulation output plus its bookkeeping facts."""
+
+    metrics: RunMetrics
+    events_processed: int = 0
+    sim_seconds: float = 0.0
+
+
+@dataclass
+class StoreStats:
+    """Running counters of one store's traffic."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_dropped: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total lookups answered from either layer."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultStore:
+    """Layered cache of per-cell :class:`RunMetrics`.
+
+    ``cache_dir=None`` (the default) keeps the store memory-only; passing
+    a directory enables persistence across processes and invocations.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: dict[str, StoredResult] = {}
+        self.stats = StoreStats()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def path_for(self, cell: Cell) -> Path | None:
+        """The disk location for a cell's result (None if memory-only)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{cell.content_hash()}.json"
+
+    def get(self, cell: Cell) -> StoredResult | None:
+        """Look a cell up — memory first, then disk; None on miss.
+
+        A disk hit is promoted into the memory layer so repeated lookups
+        within one process return the identical object.
+        """
+        key = cell.content_hash()
+        stored = self._memory.get(key)
+        if stored is not None:
+            self.stats.memory_hits += 1
+            return stored
+        stored = self._read_disk(cell)
+        if stored is not None:
+            self.stats.disk_hits += 1
+            self._memory[key] = stored
+            return stored
+        self.stats.misses += 1
+        return None
+
+    def put(self, cell: Cell, stored: StoredResult) -> None:
+        """Record a cell's result in memory and (if enabled) on disk."""
+        self._memory[cell.content_hash()] = stored
+        path = self.path_for(cell)
+        if path is None:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "cell": cell.to_payload(),
+            "events_processed": stored.events_processed,
+            "sim_seconds": stored.sim_seconds,
+            "metrics": metrics_to_payload(stored.metrics),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.writes += 1
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (persisted files are untouched)."""
+        self._memory.clear()
+
+    # -- internals ------------------------------------------------------------
+
+    def _read_disk(self, cell: Cell) -> StoredResult | None:
+        path = self.path_for(cell)
+        if path is None:
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._drop_corrupt(path)
+            return None
+        try:
+            if payload["schema"] != CACHE_SCHEMA_VERSION:
+                raise ValueError(f"schema {payload['schema']!r}")
+            if payload["cell"] != cell.to_payload():
+                raise ValueError("stored cell does not match lookup key")
+            return StoredResult(
+                metrics=metrics_from_payload(payload["metrics"]),
+                events_processed=int(payload["events_processed"]),
+                sim_seconds=float(payload["sim_seconds"]),
+            )
+        except Exception:
+            # Any malformed content — wrong schema, truncated records,
+            # values Job/CompletedJob validation rejects — is treated as
+            # corruption: drop the file and re-simulate the cell.
+            self._drop_corrupt(path)
+            return None
+
+    def _drop_corrupt(self, path: Path) -> None:
+        self.stats.corrupt_dropped += 1
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - unlink race / read-only dir
+            pass

@@ -16,13 +16,20 @@ from repro.experiments.config import (
 )
 from repro.experiments.runner import (
     ExperimentResult,
+    cached_workload,
     clear_cache,
     make_estimate_model,
     make_scheduler,
     make_workload,
     run_cell,
 )
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.registry import (
+    CELL_PLANS,
+    EXPERIMENTS,
+    collect_cells,
+    get_experiment,
+    run_experiment,
+)
 
 __all__ = [
     "DEFAULT_PARAMS",
@@ -30,12 +37,15 @@ __all__ = [
     "ExperimentParams",
     "WorkloadSpec",
     "ExperimentResult",
+    "cached_workload",
     "clear_cache",
     "make_estimate_model",
     "make_scheduler",
     "make_workload",
     "run_cell",
+    "CELL_PLANS",
     "EXPERIMENTS",
+    "collect_cells",
     "get_experiment",
     "run_experiment",
 ]

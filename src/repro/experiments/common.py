@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from repro.analysis.stats import mean
+from repro.exec import Cell, run_cells
 from repro.experiments.config import ExperimentParams
-from repro.experiments.runner import cached_workload, run_cell
+from repro.experiments.runner import cached_workload
 from repro.metrics.categories import Category, EstimateQuality, estimate_quality
 from repro.metrics.collector import RunMetrics
 
 __all__ = [
     "PRIORITIES",
+    "seed_cells",
+    "metrics_of",
     "seed_mean",
     "overall_slowdown",
     "overall_turnaround",
@@ -23,6 +26,26 @@ __all__ = [
 PRIORITIES = ("FCFS", "SJF", "XF")
 
 
+def seed_cells(
+    params: ExperimentParams,
+    trace: str,
+    estimate: str,
+    kind: str,
+    priority: str,
+    **options,
+) -> list[Cell]:
+    """One :class:`Cell` per seed of the parameter set."""
+    return [
+        Cell.make(spec, kind, priority, **options)
+        for spec in params.specs(trace, estimate)
+    ]
+
+
+def metrics_of(cell: Cell) -> RunMetrics:
+    """Metrics of a single cell (store-backed; prefer batching)."""
+    return run_cells([cell])[0]
+
+
 def seed_mean(
     params: ExperimentParams,
     trace: str,
@@ -33,10 +56,8 @@ def seed_mean(
     **options,
 ) -> float:
     """Mean of ``metric(RunMetrics)`` over the parameter set's seeds."""
-    values = []
-    for spec in params.specs(trace, estimate):
-        values.append(metric(run_cell(spec, kind, priority, **options)))
-    return mean(values)
+    cells = seed_cells(params, trace, estimate, kind, priority, **options)
+    return mean([metric(metrics) for metrics in run_cells(cells)])
 
 
 def overall_slowdown(params, trace, estimate, kind, priority, **options) -> float:

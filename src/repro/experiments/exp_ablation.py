@@ -22,22 +22,32 @@ from __future__ import annotations
 
 from repro.analysis.stats import mean
 from repro.analysis.table import Table
+from repro.exec import Cell, run_cells
+from repro.experiments.common import seed_cells
 from repro.experiments.config import ExperimentParams
-from repro.experiments.runner import ExperimentResult, run_cell
+from repro.experiments.runner import ExperimentResult
 
-__all__ = ["run", "MODES"]
+__all__ = ["run", "cells", "MODES"]
 
 _TRACE = "CTC"
 MODES = ("none", "startonly", "full", "repack")
 
 
+def cells(params: ExperimentParams) -> list[Cell]:
+    """Every simulation cell this experiment reads (its prefetch plan)."""
+    return [
+        cell
+        for mode in MODES
+        for estimate in ("exact", "user")
+        for cell in seed_cells(
+            params, _TRACE, estimate, "cons", "FCFS", compression=mode
+        )
+    ]
+
+
 def _mean_metric(params: ExperimentParams, estimate: str, metric, **options) -> float:
-    return mean(
-        [
-            metric(run_cell(params.spec(_TRACE, seed, estimate), "cons", "FCFS", **options))
-            for seed in params.seeds
-        ]
-    )
+    batch = run_cells(seed_cells(params, _TRACE, estimate, "cons", "FCFS", **options))
+    return mean([metric(metrics) for metrics in batch])
 
 
 def run(params: ExperimentParams) -> ExperimentResult:
@@ -46,6 +56,7 @@ def run(params: ExperimentParams) -> ExperimentResult:
         experiment_id="ablation-compression",
         title="Conservative compression-variant ablation, CTC",
     )
+    run_cells(cells(params))  # fan the whole grid out before reading it
     table = Table(
         ["compression", "slowdown_exact", "slowdown_user", "worst_turnaround_user"]
     )

@@ -20,15 +20,26 @@ import math
 
 from repro.analysis.stats import mean
 from repro.analysis.table import Table
+from repro.exec import Cell, run_cells
+from repro.experiments.common import seed_cells
 from repro.experiments.config import ExperimentParams
-from repro.experiments.runner import ExperimentResult, run_cell
+from repro.experiments.runner import ExperimentResult
 from repro.metrics.categories import Category
 
-__all__ = ["run", "DEPTHS"]
+__all__ = ["run", "cells", "DEPTHS"]
 
 _TRACE = "CTC"
 _ESTIMATE = "user"
 DEPTHS = (1, 2, 4, 8, 10**6)
+
+
+def cells(params: ExperimentParams) -> list[Cell]:
+    """Every simulation cell this experiment reads (its prefetch plan)."""
+    plan = seed_cells(params, _TRACE, _ESTIMATE, "easy", "FCFS")
+    plan += seed_cells(params, _TRACE, _ESTIMATE, "cons", "FCFS")
+    for depth in DEPTHS:
+        plan += seed_cells(params, _TRACE, _ESTIMATE, "depth", "FCFS", depth=depth)
+    return plan
 
 
 def run(params: ExperimentParams) -> ExperimentResult:
@@ -37,20 +48,20 @@ def run(params: ExperimentParams) -> ExperimentResult:
         experiment_id="depth",
         title="Reservation-depth sweep: the EASY-conservative continuum",
     )
+    run_cells(cells(params))  # fan the whole grid out before reading it
     table = Table(
         ["scheduler", "depth", "mean_slowdown", "worst_turnaround", "SW_slowdown"]
     )
 
     def metrics_for(kind: str, **options):
-        slds, worsts, sws = [], [], []
-        for seed in params.seeds:
-            metrics = run_cell(
-                params.spec(_TRACE, seed, _ESTIMATE), kind, "FCFS", **options
-            )
-            slds.append(metrics.overall.mean_bounded_slowdown)
-            worsts.append(metrics.overall.max_turnaround)
-            sws.append(metrics.by_category[Category.SW].mean_bounded_slowdown)
-        return mean(slds), mean(worsts), mean(sws)
+        batch = run_cells(
+            seed_cells(params, _TRACE, _ESTIMATE, kind, "FCFS", **options)
+        )
+        return (
+            mean([m.overall.mean_bounded_slowdown for m in batch]),
+            mean([m.overall.max_turnaround for m in batch]),
+            mean([m.by_category[Category.SW].mean_bounded_slowdown for m in batch]),
+        )
 
     easy = metrics_for("easy")
     cons = metrics_for("cons")

@@ -18,24 +18,39 @@ from __future__ import annotations
 from repro.analysis.ascii_chart import grouped_bar_chart
 from repro.analysis.stats import confidence_interval
 from repro.analysis.table import Table
+from repro.exec import Cell, run_cells
 from repro.experiments.common import (
     PRIORITIES,
+    metrics_of,
     overall_slowdown,
     overall_turnaround,
+    seed_cells,
 )
 from repro.experiments.config import ExperimentParams
-from repro.experiments.runner import ExperimentResult, run_cell
+from repro.experiments.runner import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "cells"]
+
+
+def cells(params: ExperimentParams) -> list[Cell]:
+    """Every simulation cell this experiment reads (its prefetch plan)."""
+    plan: list[Cell] = []
+    for trace in params.traces:
+        plan += seed_cells(params, trace, "exact", "cons", "FCFS")
+        for priority in PRIORITIES:
+            plan += seed_cells(params, trace, "exact", "easy", priority)
+        equivalence_spec = params.spec(trace, params.seeds[0], "exact")
+        plan += [Cell(equivalence_spec, "cons", p) for p in ("SJF", "XF")]
+    return plan
 
 
 def _verify_priority_equivalence(params: ExperimentParams, trace: str) -> bool:
     """Conservative schedules must be identical under all priorities (R=1)."""
     spec = params.spec(trace, params.seeds[0], "exact")
-    baseline = run_cell(spec, "cons", "FCFS")
+    baseline = metrics_of(Cell(spec, "cons", "FCFS"))
     base_starts = {r.job.job_id: r.start_time for r in baseline.records}
     for priority in ("SJF", "XF"):
-        other = run_cell(spec, "cons", priority)
+        other = metrics_of(Cell(spec, "cons", priority))
         other_starts = {r.job.job_id: r.start_time for r in other.records}
         if other_starts != base_starts:
             return False
@@ -48,35 +63,36 @@ def run(params: ExperimentParams) -> ExperimentResult:
         experiment_id="figure1",
         title="Conservative vs EASY backfilling, exact estimates (paper Figure 1)",
     )
+    run_cells(cells(params))  # fan the whole grid out before reading it
     table = Table(["trace", "scheduler", "mean_bounded_slowdown", "mean_turnaround"])
     slowdown_chart: dict[str, dict[str, float]] = {}
     turnaround_chart: dict[str, dict[str, float]] = {}
 
     for trace in params.traces:
-        cells: dict[str, tuple[float, float]] = {}
+        bars: dict[str, tuple[float, float]] = {}
         # One conservative bar (priorities are provably equivalent at R=1).
-        cells["CONS"] = (
+        bars["CONS"] = (
             overall_slowdown(params, trace, "exact", "cons", "FCFS"),
             overall_turnaround(params, trace, "exact", "cons", "FCFS"),
         )
         for priority in PRIORITIES:
-            cells[f"EASY-{priority}"] = (
+            bars[f"EASY-{priority}"] = (
                 overall_slowdown(params, trace, "exact", "easy", priority),
                 overall_turnaround(params, trace, "exact", "easy", priority),
             )
-        for name, (sld, tat) in cells.items():
+        for name, (sld, tat) in bars.items():
             table.append(trace, name, sld, tat)
-        slowdown_chart[trace] = {n: v[0] for n, v in cells.items()}
-        turnaround_chart[trace] = {n: v[1] for n, v in cells.items()}
+        slowdown_chart[trace] = {n: v[0] for n, v in bars.items()}
+        turnaround_chart[trace] = {n: v[1] for n, v in bars.items()}
 
         result.findings[f"{trace}: EASY-SJF beats conservative on slowdown"] = (
-            cells["EASY-SJF"][0] < cells["CONS"][0]
+            bars["EASY-SJF"][0] < bars["CONS"][0]
         )
         result.findings[f"{trace}: EASY-XF beats conservative on slowdown"] = (
-            cells["EASY-XF"][0] < cells["CONS"][0]
+            bars["EASY-XF"][0] < bars["CONS"][0]
         )
         result.findings[f"{trace}: EASY-SJF beats conservative on turnaround"] = (
-            cells["EASY-SJF"][1] < cells["CONS"][1]
+            bars["EASY-SJF"][1] < bars["CONS"][1]
         )
         result.findings[
             f"{trace}: conservative schedule identical under FCFS/SJF/XF"
@@ -92,9 +108,10 @@ def run(params: ExperimentParams) -> ExperimentResult:
             ("EASY-SJF", "easy", "SJF"),
         ):
             values = [
-                run_cell(params.spec(trace, seed, "exact"), kind, priority)
-                .overall.mean_bounded_slowdown
-                for seed in params.seeds
+                metrics.overall.mean_bounded_slowdown
+                for metrics in run_cells(
+                    seed_cells(params, trace, "exact", kind, priority)
+                )
             ]
             mean_value, low, high = confidence_interval(values)
             ci_table.append(trace, name, mean_value, low, high)

@@ -21,13 +21,22 @@ from __future__ import annotations
 from repro.analysis.ascii_chart import bar_chart
 from repro.analysis.stats import relative_change_percent
 from repro.analysis.table import Table
-from repro.experiments.common import PRIORITIES, category_slowdown
+from repro.exec import Cell, run_cells
+from repro.experiments.common import PRIORITIES, category_slowdown, seed_cells
 from repro.experiments.config import ExperimentParams
 from repro.experiments.runner import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "cells"]
 
 _TRACE = "CTC"
+
+
+def cells(params: ExperimentParams) -> list[Cell]:
+    """Every simulation cell this experiment reads (its prefetch plan)."""
+    plan = seed_cells(params, _TRACE, "exact", "cons", "FCFS")
+    for priority in PRIORITIES:
+        plan += seed_cells(params, _TRACE, "exact", "easy", priority)
+    return plan
 
 
 def run(params: ExperimentParams) -> ExperimentResult:
@@ -38,6 +47,7 @@ def run(params: ExperimentParams) -> ExperimentResult:
         experiment_id="figure2",
         title="Category-wise EASY vs conservative, CTC, exact estimates (paper Figure 2)",
     )
+    run_cells(cells(params))  # fan the whole grid out before reading it
     table = Table(["priority", "category", "cons_slowdown", "easy_slowdown", "pct_change"])
 
     changes: dict[str, dict[str, float]] = {}

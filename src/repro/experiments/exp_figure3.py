@@ -22,11 +22,22 @@ from __future__ import annotations
 
 from repro.analysis.ascii_chart import grouped_bar_chart
 from repro.analysis.table import Table
-from repro.experiments.common import PRIORITIES, overall_slowdown
+from repro.exec import Cell, run_cells
+from repro.experiments.common import PRIORITIES, overall_slowdown, seed_cells
 from repro.experiments.config import ExperimentParams
 from repro.experiments.runner import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "cells"]
+
+
+def cells(params: ExperimentParams) -> list[Cell]:
+    """Every simulation cell this experiment reads (its prefetch plan)."""
+    plan: list[Cell] = []
+    for trace in params.traces:
+        for kind in ("cons", "easy"):
+            for priority in PRIORITIES:
+                plan += seed_cells(params, trace, "user", kind, priority)
+    return plan
 
 
 def run(params: ExperimentParams) -> ExperimentResult:
@@ -35,6 +46,7 @@ def run(params: ExperimentParams) -> ExperimentResult:
         experiment_id="figure3",
         title="Conservative vs EASY, actual user estimates (paper Figure 3)",
     )
+    run_cells(cells(params))  # fan the whole grid out before reading it
     table = Table(["trace", "priority", "conservative", "easy"])
     chart: dict[str, dict[str, float]] = {}
     for trace in params.traces:

@@ -14,17 +14,38 @@ load — the "trends are pronounced" statement, quantified.
 from __future__ import annotations
 
 from repro.analysis.table import Table
+from repro.exec import Cell, run_cells
 from repro.experiments.config import ExperimentParams, WorkloadSpec
-from repro.experiments.runner import ExperimentResult, run_cell
+from repro.experiments.runner import ExperimentResult, cached_workload
 from repro.analysis.stats import mean
 
-__all__ = ["run", "LOAD_SCALES"]
+__all__ = ["run", "cells", "LOAD_SCALES"]
 
 _TRACE = "CTC"
 
 #: Inter-arrival scale factors: 1.0 is the generators' native ~0.65 load,
 #: 0.75 is the paper-style high-load condition used everywhere else.
 LOAD_SCALES = (1.0, 0.9, 0.8, 0.75)
+
+#: The disciplines compared at every load level.
+_KINDS = (("cons", "FCFS"), ("easy", "FCFS"), ("easy", "SJF"))
+
+
+def _specs(params: ExperimentParams, scale: float) -> list[WorkloadSpec]:
+    return [
+        WorkloadSpec(_TRACE, params.n_jobs, seed, scale, "exact")
+        for seed in params.seeds
+    ]
+
+
+def cells(params: ExperimentParams) -> list[Cell]:
+    """Every simulation cell this experiment reads (its prefetch plan)."""
+    return [
+        Cell(spec, kind, priority)
+        for scale in LOAD_SCALES
+        for spec in _specs(params, scale)
+        for kind, priority in _KINDS
+    ]
 
 
 def run(params: ExperimentParams) -> ExperimentResult:
@@ -33,26 +54,18 @@ def run(params: ExperimentParams) -> ExperimentResult:
         experiment_id="loadsweep",
         title="Normal vs high load: trends persist and sharpen (paper Section 3)",
     )
+    run_cells(cells(params))  # fan the whole grid out before reading it
     table = Table(
         ["load_scale", "offered_load", "cons", "easy_fcfs", "easy_sjf", "sjf_advantage"]
     )
     gap_by_scale: dict[float, float] = {}
     slowdown_by_scale: dict[float, dict[str, float]] = {}
     for scale in LOAD_SCALES:
-        specs = [
-            WorkloadSpec(_TRACE, params.n_jobs, seed, scale, "exact")
-            for seed in params.seeds
-        ]
+        specs = _specs(params, scale)
 
         def cell(kind: str, priority: str) -> float:
-            return mean(
-                [
-                    run_cell(spec, kind, priority).overall.mean_bounded_slowdown
-                    for spec in specs
-                ]
-            )
-
-        from repro.experiments.runner import cached_workload
+            batch = run_cells([Cell(spec, kind, priority) for spec in specs])
+            return mean([m.overall.mean_bounded_slowdown for m in batch])
 
         offered = mean([cached_workload(spec).offered_load for spec in specs])
         cons = cell("cons", "FCFS")

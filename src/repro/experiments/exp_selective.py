@@ -24,26 +24,38 @@ from __future__ import annotations
 import math
 
 from repro.analysis.table import Table
+from repro.exec import Cell, run_cells
+from repro.experiments.common import seed_cells
 from repro.experiments.config import ExperimentParams
-from repro.experiments.runner import ExperimentResult, run_cell
+from repro.experiments.runner import ExperimentResult
 from repro.analysis.stats import mean
 from repro.metrics.categories import Category
 
-__all__ = ["run", "THRESHOLDS"]
+__all__ = ["run", "cells", "THRESHOLDS"]
 
 _TRACE = "CTC"
 _ESTIMATE = "user"
 THRESHOLDS = (1.0, 1.5, 2.0, 4.0, 8.0)
 
 
+def cells(params: ExperimentParams) -> list[Cell]:
+    """Every simulation cell this experiment reads (its prefetch plan)."""
+    plan = seed_cells(params, _TRACE, _ESTIMATE, "cons", "FCFS")
+    plan += seed_cells(params, _TRACE, _ESTIMATE, "easy", "FCFS")
+    for threshold in THRESHOLDS:
+        plan += seed_cells(
+            params, _TRACE, _ESTIMATE, "sel", "FCFS", xfactor_threshold=threshold
+        )
+    return plan
+
+
 def _metrics_for(params: ExperimentParams, kind: str, **options):
-    slds, worsts, sws = [], [], []
-    for seed in params.seeds:
-        metrics = run_cell(params.spec(_TRACE, seed, _ESTIMATE), kind, "FCFS", **options)
-        slds.append(metrics.overall.mean_bounded_slowdown)
-        worsts.append(metrics.overall.max_turnaround)
-        sws.append(metrics.by_category[Category.SW].mean_bounded_slowdown)
-    return mean(slds), mean(worsts), mean(sws)
+    batch = run_cells(seed_cells(params, _TRACE, _ESTIMATE, kind, "FCFS", **options))
+    return (
+        mean([m.overall.mean_bounded_slowdown for m in batch]),
+        mean([m.overall.max_turnaround for m in batch]),
+        mean([m.by_category[Category.SW].mean_bounded_slowdown for m in batch]),
+    )
 
 
 def run(params: ExperimentParams) -> ExperimentResult:
@@ -52,6 +64,7 @@ def run(params: ExperimentParams) -> ExperimentResult:
         experiment_id="selective",
         title="Selective backfilling threshold sweep, CTC, actual estimates (paper Section 6)",
     )
+    run_cells(cells(params))  # fan the whole grid out before reading it
     table = Table(
         ["scheduler", "xf_threshold", "mean_slowdown", "worst_turnaround", "SW_slowdown"]
     )

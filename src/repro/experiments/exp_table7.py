@@ -8,13 +8,23 @@ worse worst-case turnaround time than conservative under every priority.
 from __future__ import annotations
 
 from repro.analysis.table import Table
-from repro.experiments.common import PRIORITIES, worst_turnaround
+from repro.exec import Cell, run_cells
+from repro.experiments.common import PRIORITIES, seed_cells, worst_turnaround
 from repro.experiments.config import ExperimentParams
 from repro.experiments.runner import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "cells"]
 
 _TRACE = "CTC"
+
+
+def cells(params: ExperimentParams) -> list[Cell]:
+    """Every simulation cell this experiment reads (its prefetch plan)."""
+    plan: list[Cell] = []
+    for kind in ("cons", "easy"):
+        for priority in PRIORITIES:
+            plan += seed_cells(params, _TRACE, "user", kind, priority)
+    return plan
 
 
 def run(params: ExperimentParams) -> ExperimentResult:
@@ -23,6 +33,7 @@ def run(params: ExperimentParams) -> ExperimentResult:
         experiment_id="table7",
         title="Worst-case turnaround time (s), CTC, actual estimates (paper Table 7)",
     )
+    run_cells(cells(params))  # fan the whole grid out before reading it
     table = Table(["priority", "conservative", "easy"])
     for priority in PRIORITIES:
         cons = worst_turnaround(params, _TRACE, "user", "cons", priority)

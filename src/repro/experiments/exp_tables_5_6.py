@@ -16,14 +16,25 @@ Paper claims to reproduce:
 from __future__ import annotations
 
 from repro.analysis.table import Table
-from repro.experiments.common import PRIORITIES, overall_slowdown
+from repro.exec import Cell, run_cells
+from repro.experiments.common import PRIORITIES, overall_slowdown, seed_cells
 from repro.experiments.config import ExperimentParams
 from repro.experiments.runner import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "cells"]
 
 _TRACE = "CTC"
 _REGIMES = (("R=1", "exact"), ("R=2", "r2"), ("R=4", "r4"))
+
+
+def cells(params: ExperimentParams) -> list[Cell]:
+    """Every simulation cell this experiment reads (its prefetch plan)."""
+    plan: list[Cell] = []
+    for kind in ("cons", "easy"):
+        for priority in PRIORITIES:
+            for _, estimate in _REGIMES:
+                plan += seed_cells(params, _TRACE, estimate, kind, priority)
+    return plan
 
 
 def run(params: ExperimentParams) -> ExperimentResult:
@@ -32,6 +43,7 @@ def run(params: ExperimentParams) -> ExperimentResult:
         experiment_id="tables56",
         title="Systematic overestimation R in {1,2,4}, CTC (paper Tables 5-6)",
     )
+    run_cells(cells(params))  # fan the whole grid out before reading it
     values: dict[tuple[str, str, str], float] = {}
     for kind, table_name in (("cons", "Table 5: conservative"), ("easy", "Table 6: EASY")):
         table = Table(["priority"] + [label for label, _ in _REGIMES])

@@ -1,10 +1,24 @@
-"""Experiment registry: id -> runner."""
+"""Experiment registry: id -> runner, plus per-experiment cell plans.
+
+Experiments whose simulation grid is expressible as plain cells publish a
+``cells(params)`` *plan* alongside ``run(params)``.  The registry uses
+plans in two ways:
+
+* :func:`run_experiment` prefetches an experiment's plan through
+  :func:`repro.exec.run_cells` before calling its runner, so a parallel
+  default executor fans the whole grid out at once;
+* :func:`collect_cells` merges the plans of several experiments (the
+  CLI's ``experiment all --parallel N`` path) so shared cells — e.g. the
+  exact-estimate conservative baseline that Figures 1/2 and Table 4 all
+  read — are simulated exactly once, with maximum fan-out.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
 from repro.errors import ExperimentError
+from repro.exec import Cell, run_cells
 from repro.experiments import (
     exp_ablation,
     exp_depth,
@@ -29,7 +43,13 @@ from repro.experiments import (
 from repro.experiments.config import DEFAULT_PARAMS, ExperimentParams
 from repro.experiments.runner import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "CELL_PLANS",
+    "get_experiment",
+    "run_experiment",
+    "collect_cells",
+]
 
 #: All experiments, in paper order.
 EXPERIMENTS: dict[str, Callable[[ExperimentParams], ExperimentResult]] = {
@@ -54,6 +74,23 @@ EXPERIMENTS: dict[str, Callable[[ExperimentParams], ExperimentResult]] = {
     "maintenance": exp_maintenance.run,
 }
 
+#: Cell plans for the experiments whose grids are plain cells.  The
+#: remaining experiments drive bespoke simulators (grid metascheduling,
+#: preemption, maintenance windows, ...) that are not cell-shaped.
+CELL_PLANS: dict[str, Callable[[ExperimentParams], list[Cell]]] = {
+    "figure1": exp_figure1.cells,
+    "figure2": exp_figure2.cells,
+    "table4": exp_table4.cells,
+    "tables56": exp_tables_5_6.cells,
+    "figure3": exp_figure3.cells,
+    "figure4": exp_figure4.cells,
+    "table7": exp_table7.cells,
+    "selective": exp_selective.cells,
+    "ablation-compression": exp_ablation.cells,
+    "loadsweep": exp_loadsweep.cells,
+    "depth": exp_depth.cells,
+}
+
 
 def get_experiment(experiment_id: str) -> Callable[[ExperimentParams], ExperimentResult]:
     """Look up an experiment runner by id; raises ExperimentError if unknown."""
@@ -66,8 +103,39 @@ def get_experiment(experiment_id: str) -> Callable[[ExperimentParams], Experimen
         ) from None
 
 
+def collect_cells(
+    experiment_ids: list[str] | tuple[str, ...],
+    params: ExperimentParams | None = None,
+) -> list[Cell]:
+    """The deduplicated union of the given experiments' cell plans.
+
+    Unknown ids raise; experiments without a plan contribute nothing.
+    First-appearance order is preserved so execution order (and thus
+    progress reporting) is deterministic.
+    """
+    params = params or DEFAULT_PARAMS
+    union: dict[Cell, None] = {}
+    for experiment_id in experiment_ids:
+        get_experiment(experiment_id)  # validate the id
+        plan = CELL_PLANS.get(experiment_id)
+        if plan is not None:
+            union.update(dict.fromkeys(plan(params)))
+    return list(union)
+
+
 def run_experiment(
     experiment_id: str, params: ExperimentParams | None = None
 ) -> ExperimentResult:
-    """Run one experiment by id with the given (or default) parameters."""
-    return get_experiment(experiment_id)(params or DEFAULT_PARAMS)
+    """Run one experiment by id with the given (or default) parameters.
+
+    If the experiment publishes a cell plan, the whole grid is submitted
+    through :func:`repro.exec.run_cells` first — one batch, maximally
+    parallel under a ``--parallel`` executor — before the runner reads
+    the (then warm) results.
+    """
+    runner = get_experiment(experiment_id)
+    params = params or DEFAULT_PARAMS
+    plan = CELL_PLANS.get(experiment_id)
+    if plan is not None:
+        run_cells(plan(params))
+    return runner(params)

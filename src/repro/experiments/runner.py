@@ -1,14 +1,23 @@
-"""Workload/scheduler factories and the cached cell runner.
+"""Workload/scheduler factories and the (deprecated) single-cell runner.
 
 A *cell* is one simulation: (workload spec) x (scheduler kind, priority).
 Several experiments share cells — e.g. the exact-estimate conservative run
 of Figure 1 is also the baseline of Figure 2 and Table 4 — so results are
-memoized per process.  The cache key is pure data (frozen dataclasses and
-strings), which keeps the memoization sound.
+memoized.  Cell identity and memoization now live in :mod:`repro.exec`:
+:class:`repro.exec.Cell` is the unit of work, :func:`repro.exec.run_cells`
+the batch entry point, and the default :class:`repro.exec.ResultStore`
+owns both the in-process layer and the optional on-disk cache.  The
+keyword-style :func:`run_cell` survives as a thin deprecated wrapper.
+
+Workloads (the memory hog — thousands of Job objects each) are memoized
+here behind a bounded LRU so a long ``experiment all`` sweep cannot grow
+without bound.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -29,7 +38,6 @@ from repro.sched.backfill.selective import SelectiveScheduler
 from repro.sched.backfill.slack import SlackScheduler
 from repro.sched.base import Scheduler
 from repro.sched.priority.policies import policy_by_name
-from repro.sim.engine import simulate
 from repro.workload.estimates import (
     ClampedEstimate,
     EstimateModel,
@@ -48,6 +56,7 @@ __all__ = [
     "make_workload",
     "make_estimate_model",
     "make_scheduler",
+    "cached_workload",
     "run_cell",
     "clear_cache",
 ]
@@ -161,15 +170,26 @@ def make_scheduler(kind: str, priority: str = "FCFS", **options) -> Scheduler:
     )
 
 
-_workload_cache: dict[WorkloadSpec, Workload] = {}
-_cell_cache: dict[tuple, RunMetrics] = {}
+#: Upper bound on memoized workloads.  Workloads are the memory hog
+#: (thousands of Job objects each); the LRU keeps the working set of a
+#: full ``experiment all`` sweep while bounding a long-lived process.
+WORKLOAD_CACHE_LIMIT = 32
+
+_workload_cache: OrderedDict[WorkloadSpec, Workload] = OrderedDict()
 
 
 def cached_workload(spec: WorkloadSpec) -> Workload:
-    """Memoized :func:`make_workload`."""
-    if spec not in _workload_cache:
-        _workload_cache[spec] = make_workload(spec)
-    return _workload_cache[spec]
+    """Memoized :func:`make_workload`, bounded by an LRU of
+    :data:`WORKLOAD_CACHE_LIMIT` entries."""
+    workload = _workload_cache.get(spec)
+    if workload is None:
+        workload = make_workload(spec)
+        _workload_cache[spec] = workload
+        while len(_workload_cache) > WORKLOAD_CACHE_LIMIT:
+            _workload_cache.popitem(last=False)
+    else:
+        _workload_cache.move_to_end(spec)
+    return workload
 
 
 def run_cell(
@@ -178,16 +198,33 @@ def run_cell(
     priority: str = "FCFS",
     **options,
 ) -> RunMetrics:
-    """Simulate one (workload, scheduler) cell, memoized per process."""
-    key = (spec, kind, priority, tuple(sorted(options.items())))
-    if key not in _cell_cache:
-        workload = cached_workload(spec)
-        scheduler = make_scheduler(kind, priority, **options)
-        _cell_cache[key] = simulate(workload, scheduler).metrics
-    return _cell_cache[key]
+    """Simulate one (workload, scheduler) cell, memoized.
+
+    .. deprecated::
+        ``run_cell`` is a thin wrapper over the typed cell API; build a
+        :class:`repro.exec.Cell` and call :func:`repro.exec.run_cells`
+        instead — the batch form is what enables parallel execution and
+        the persistent result store.
+    """
+    warnings.warn(
+        "run_cell(spec, kind, priority, **options) is deprecated; use "
+        "repro.exec.run_cells([Cell.make(spec, kind, priority, **options)])",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.exec import Cell, run_cells
+
+    return run_cells([Cell.make(spec, kind, priority, **options)])[0]
 
 
 def clear_cache() -> None:
-    """Drop all memoized workloads and cells (used by tests)."""
+    """Drop all memoized workloads and cell results (used by tests).
+
+    Cell memoization has one owner — the default
+    :class:`repro.exec.ResultStore` — whose in-memory layer is cleared
+    here; persisted cache files are left alone.
+    """
+    from repro.exec import default_store
+
     _workload_cache.clear()
-    _cell_cache.clear()
+    default_store().clear_memory()

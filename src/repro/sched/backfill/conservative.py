@@ -164,7 +164,7 @@ class ConservativeScheduler(Scheduler):
         start = profile.find_start(job.procs, job.estimate, now)
         profile.reserve(job.procs, start, job.estimate)
         started: list[Job] = []
-        if start <= now + _EPS:
+        if start <= now + _EPS and self._machine_fits(job):
             self._start_now(job, now, started)
         else:
             self._enqueue(job)
@@ -214,10 +214,14 @@ class ConservativeScheduler(Scheduler):
 
     def _start_due(self, now: float, started: list[Job]) -> None:
         """Start every queued job whose reservation time has arrived."""
+        committed = sum(j.procs for j in started)
         for queued in self._ordered_queue(now):
-            if self._reservation_start[queued.job_id] <= now + _EPS:
+            if self._reservation_start[
+                queued.job_id
+            ] <= now + _EPS and self._machine_fits(queued, committed):
                 self._dequeue(queued)
                 self._start_now(queued, now, started)
+                committed += queued.procs
 
     def _repack(self, now: float, started: list[Job]) -> None:
         """Rebuild every queued reservation against the current state.
@@ -240,13 +244,15 @@ class ConservativeScheduler(Scheduler):
 
         carve_reservations(profile, self.advance_reservations, now)
         self._profile = profile
+        committed = sum(j.procs for j in started)
         for queued in self._ordered_queue(now):
             start = profile.find_start(queued.procs, queued.estimate, now)
             profile.reserve(queued.procs, start, queued.estimate)
             self._reservation_start[queued.job_id] = start
-            if start <= now + _EPS:
+            if start <= now + _EPS and self._machine_fits(queued, committed):
                 self._dequeue(queued)
                 self._start_now(queued, now, started)
+                committed += queued.procs
             else:
                 self.request_wakeup(start)
 
@@ -259,6 +265,7 @@ class ConservativeScheduler(Scheduler):
         move later, so previously given guarantees survive.
         """
         profile = self._profile_at(now)
+        committed = sum(j.procs for j in started)
         for queued in self._ordered_queue(now):
             old_start = self._reservation_start[queued.job_id]
             if old_start < now - _EPS:
@@ -267,22 +274,31 @@ class ConservativeScheduler(Scheduler):
                     f"for job {queued.job_id}"
                 )
             if old_start <= now + _EPS:
-                # Its guaranteed time has arrived; it starts regardless.
-                self._dequeue(queued)
-                self._start_now(queued, now, started)
+                # Its guaranteed time has arrived; it starts as soon as the
+                # machine physically fits it (the next finish re-runs this).
+                if self._machine_fits(queued, committed):
+                    self._dequeue(queued)
+                    self._start_now(queued, now, started)
+                    committed += queued.procs
                 continue
             profile.release(queued.procs, old_start, queued.estimate)
             new_start = profile.find_start(queued.procs, queued.estimate, now)
             if new_start <= now + _EPS:
-                chosen = new_start
+                # A due slot the machine cannot physically host yet is no
+                # slot: keep the old guarantee rather than a past-dated one.
+                if self._machine_fits(queued, committed):
+                    chosen = new_start
+                else:
+                    chosen = old_start
             elif move_future and new_start < old_start - _EPS:
                 chosen = new_start
             else:
                 chosen = old_start
             profile.reserve(queued.procs, chosen, queued.estimate)
             self._reservation_start[queued.job_id] = chosen
-            if chosen <= now + _EPS:
+            if chosen <= now + _EPS and self._machine_fits(queued, committed):
                 self._dequeue(queued)
                 self._start_now(queued, now, started)
+                committed += queued.procs
             elif chosen != old_start:
                 self.request_wakeup(chosen)

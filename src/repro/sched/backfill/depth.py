@@ -69,16 +69,23 @@ class DepthScheduler(Scheduler):
             profile.reserve(job.procs, start, job.estimate)
             reservations[job.job_id] = start
 
+        committed = 0
         for job in queue:
             if job.job_id in reservations:
-                if reservations[job.job_id] <= now + _EPS:
+                if reservations[job.job_id] <= now + _EPS and self._machine_fits(
+                    job, committed
+                ):
                     self._dequeue(job)
                     started.append(job)
+                    committed += job.procs
             else:
-                if profile.min_free(now, job.estimate) >= job.procs:
+                if profile.min_free(
+                    now, job.estimate
+                ) >= job.procs and self._machine_fits(job, committed):
                     profile.reserve(job.procs, now, job.estimate)
                     self._dequeue(job)
                     started.append(job)
+                    committed += job.procs
         return started
 
     def poke(self, now: float) -> list[Job]:

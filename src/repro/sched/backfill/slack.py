@@ -114,7 +114,10 @@ class SlackScheduler(Scheduler):
         while progressed:
             progressed = False
             for job in list(self._queue):
-                if plan.get(job.job_id, math.inf) <= now + _EPS:
+                committed = sum(j.procs for j, _ in pseudo_running)
+                if plan.get(
+                    job.job_id, math.inf
+                ) <= now + _EPS and self._machine_fits(job, committed):
                     self._dequeue(job)
                     started.append(job)
                     pseudo_running.append((job, now))

@@ -167,6 +167,20 @@ class Scheduler(ABC):
             raise SchedulingError(f"{self.name}: scheduler is not bound to a machine")
         return self.machine
 
+    def _machine_fits(self, job: Job, committed_procs: int = 0) -> bool:
+        """True if the machine *physically* has processors for ``job`` now.
+
+        Planning profiles are built from estimated finishes and merge
+        breakpoints within a float tolerance, so a plan can declare a job
+        due an instant before the releasing completion has actually been
+        processed.  Profile-based schedulers must re-check the machine (less
+        ``committed_procs`` already promised to other starts in the same
+        pass) before returning a job to the simulator; a deferred job is
+        reconsidered at the very next finish event, so the delay is bounded
+        by the tolerance itself.
+        """
+        return self._machine().free_procs - committed_procs >= job.procs
+
     def estimated_finish(self, job_id: int) -> float:
         """Estimated completion time of a running job (start + estimate)."""
         try:

@@ -108,7 +108,14 @@ class Profile:
         earliest = max(earliest, self._times[0])
 
         times, free = self._times, self._free
-        index = max(bisect.bisect_right(times, earliest + _EPS) - 1, 0)
+        # Exact bisect, NOT the +_EPS-fudged one the other queries use: with
+        # the fudge, a breakpoint in ``(earliest, earliest + _EPS]`` makes the
+        # sweep skip the segment that actually contains ``earliest`` — and if
+        # that segment is feasible, the job is delayed past a start the
+        # profile can support.  The exact form never anchors inside an
+        # infeasible sliver either: run_start stays clamped to segments whose
+        # free count was checked.
+        index = max(bisect.bisect_right(times, earliest) - 1, 0)
         run_start: float | None = None
         for i in range(index, len(times)):
             if free[i] < procs:

@@ -12,8 +12,9 @@ from repro.experiments.common import (
     seed_mean,
     worst_turnaround,
 )
+from repro.exec import Cell, run_cells
 from repro.experiments.config import ExperimentParams
-from repro.experiments.runner import clear_cache, run_cell
+from repro.experiments.runner import clear_cache
 from repro.metrics.categories import Category, EstimateQuality
 
 PARAMS = ExperimentParams(n_jobs=200, seeds=(1, 2), traces=("CTC",))
@@ -28,11 +29,10 @@ def fresh_cache():
 
 class TestSeedMean:
     def test_matches_manual_mean(self):
-        values = [
-            run_cell(PARAMS.spec("CTC", seed, "exact"), "easy", "FCFS")
-            .overall.mean_bounded_slowdown
-            for seed in PARAMS.seeds
-        ]
+        metrics = run_cells(
+            [Cell(PARAMS.spec("CTC", seed, "exact"), "easy", "FCFS") for seed in PARAMS.seeds]
+        )
+        values = [m.overall.mean_bounded_slowdown for m in metrics]
         expected = sum(values) / len(values)
         assert overall_slowdown(PARAMS, "CTC", "exact", "easy", "FCFS") == pytest.approx(
             expected
@@ -68,7 +68,7 @@ class TestQualityHelpers:
 
     def test_conditional_slowdown_restricts(self):
         ids = quality_ids(PARAMS, "CTC", seed=1)
-        metrics = run_cell(PARAMS.spec("CTC", 1, "user"), "easy", "FCFS")
+        [metrics] = run_cells([Cell(PARAMS.spec("CTC", 1, "user"), "easy", "FCFS")])
         well_value = conditional_slowdown(metrics, ids[EstimateQuality.WELL])
         all_value = metrics.overall.mean_bounded_slowdown
         assert well_value > 0

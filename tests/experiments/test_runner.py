@@ -97,19 +97,58 @@ class TestSchedulerFactory:
 
 class TestCellCache:
     def test_cell_results_are_cached(self):
-        first = run_cell(SMALL, "easy", "FCFS")
-        second = run_cell(SMALL, "easy", "FCFS")
+        with pytest.deprecated_call():
+            first = run_cell(SMALL, "easy", "FCFS")
+            second = run_cell(SMALL, "easy", "FCFS")
         assert first is second
 
     def test_cache_distinguishes_options(self):
-        a = run_cell(SMALL, "cons", "FCFS", compression="repack")
-        b = run_cell(SMALL, "cons", "FCFS", compression="none")
+        with pytest.deprecated_call():
+            a = run_cell(SMALL, "cons", "FCFS", compression="repack")
+            b = run_cell(SMALL, "cons", "FCFS", compression="none")
         assert a is not b
 
     def test_workload_cache(self):
         assert cached_workload(SMALL) is cached_workload(SMALL)
 
     def test_clear_cache(self):
-        first = run_cell(SMALL, "easy", "FCFS")
-        clear_cache()
-        assert run_cell(SMALL, "easy", "FCFS") is not first
+        with pytest.deprecated_call():
+            first = run_cell(SMALL, "easy", "FCFS")
+            clear_cache()
+            assert run_cell(SMALL, "easy", "FCFS") is not first
+
+    def test_run_cell_delegates_to_cell_api(self):
+        from repro.exec import Cell, default_store
+
+        with pytest.deprecated_call():
+            metrics = run_cell(SMALL, "easy", "SJF")
+        stored = default_store().get(Cell(SMALL, "easy", "SJF"))
+        assert stored is not None
+        assert stored.metrics is metrics
+
+    def test_workload_cache_is_bounded(self):
+        from repro.experiments.runner import WORKLOAD_CACHE_LIMIT, _workload_cache
+
+        specs = [
+            WorkloadSpec(n_jobs=10, seed=seed)
+            for seed in range(WORKLOAD_CACHE_LIMIT + 5)
+        ]
+        for spec in specs:
+            cached_workload(spec)
+        assert len(_workload_cache) == WORKLOAD_CACHE_LIMIT
+        # Least-recently-used entries (the earliest seeds) were evicted...
+        assert specs[0] not in _workload_cache
+        # ...and the most recent survive.
+        assert specs[-1] in _workload_cache
+
+    def test_workload_cache_lru_order(self):
+        from repro.experiments.runner import WORKLOAD_CACHE_LIMIT, _workload_cache
+
+        first = WorkloadSpec(n_jobs=10, seed=0)
+        cached_workload(first)
+        for seed in range(1, WORKLOAD_CACHE_LIMIT):
+            cached_workload(WorkloadSpec(n_jobs=10, seed=seed))
+        cached_workload(first)  # touch: now most-recently used
+        cached_workload(WorkloadSpec(n_jobs=10, seed=WORKLOAD_CACHE_LIMIT))
+        assert first in _workload_cache  # survived the eviction
+        assert WorkloadSpec(n_jobs=10, seed=1) not in _workload_cache

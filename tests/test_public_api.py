@@ -44,6 +44,11 @@ def test_readme_taught_names_exist():
         "MultiQueueScheduler",
         "DepthScheduler",
         "FairSharePriority",
+        "Cell",
+        "CellExecutor",
+        "ResultStore",
+        "run_cells",
+        "WorkloadSpec",
     ]
     for name in taught:
         assert name in repro.__all__, f"{name} missing from repro.__all__"

@@ -1,0 +1,229 @@
+"""Kernel benchmark: optimized vs reference scheduling kernel -> BENCH_kernel.json.
+
+Measures end-to-end simulator throughput (events/s) for each scheduler x
+priority cell on the *kernel-stress* workload — an over-subscribed machine
+with inflated user estimates, so every completion is early and the
+conservative repack path (the kernel's hottest loop) runs at full depth —
+plus microbenchmarks of the individual profile operations.  Every cell is
+run twice: once on the optimized kernel and once on the frozen seed kernel
+(:func:`repro.sched.profile_ref.configure_reference_kernel`), and the two
+schedules are asserted identical before any speedup is recorded.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+
+which rewrites ``benchmarks/BENCH_kernel.json``.  Use
+``benchmarks/compare_bench.py`` to diff two snapshots and fail on
+regression; ``tests/perf/test_kernel_smoke.py`` is the fast CI guard.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.sched import profile_ref
+from repro.sched.backfill.conservative import ConservativeScheduler
+from repro.sched.backfill.depth import DepthScheduler
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.backfill.selective import SelectiveScheduler
+from repro.sched.priority.policies import FCFSPriority, SJFPriority
+from repro.sched.profile import Profile
+from repro.sched.profile_ref import configure_reference_kernel
+from repro.sim.engine import simulate
+from repro.workload.job import Job, Workload
+
+#: Stress-workload parameters (recorded in the JSON so a future run can
+#: tell whether it is comparing like with like).
+WORKLOAD_PARAMS = {
+    "n_jobs": 2000,
+    "max_procs": 1024,
+    "seed": 7,
+    "interarrival_mean": 1.6,
+    "runtime_range": [50.0, 500.0],
+    "estimate_factor_range": [1.5, 8.0],
+    "width_range": [1, 12],
+}
+
+
+def make_stress_workload(
+    n_jobs: int | None = None, max_procs: int | None = None
+) -> Workload:
+    """Over-subscribed workload with inflated estimates (see module docstring)."""
+    p = WORKLOAD_PARAMS
+    n_jobs = n_jobs if n_jobs is not None else p["n_jobs"]
+    max_procs = max_procs if max_procs is not None else p["max_procs"]
+    rng = np.random.default_rng(p["seed"])
+    jobs = []
+    clock = 0.0
+    for i in range(n_jobs):
+        clock += float(rng.exponential(p["interarrival_mean"]))
+        runtime = float(rng.uniform(*p["runtime_range"]))
+        estimate = runtime * float(rng.uniform(*p["estimate_factor_range"]))
+        procs = int(rng.integers(p["width_range"][0], p["width_range"][1] + 1))
+        jobs.append(
+            Job(
+                job_id=i,
+                submit_time=clock,
+                runtime=runtime,
+                estimate=estimate,
+                procs=procs,
+            )
+        )
+    return Workload(tuple(jobs), max_procs=max_procs, name="kernel-stress")
+
+
+CASES = [
+    ("cons-FCFS", lambda: ConservativeScheduler(FCFSPriority())),
+    ("cons-SJF", lambda: ConservativeScheduler(SJFPriority())),
+    ("easy-FCFS", lambda: EasyScheduler(FCFSPriority())),
+    ("easy-SJF", lambda: EasyScheduler(SJFPriority())),
+    ("sel-FCFS", lambda: SelectiveScheduler(FCFSPriority())),
+    ("depth-FCFS", lambda: DepthScheduler(FCFSPriority())),
+]
+
+
+def _timed(workload: Workload, scheduler):
+    started = time.perf_counter()
+    result = simulate(workload, scheduler)
+    return result, time.perf_counter() - started
+
+
+def run_cases(workload: Workload) -> dict:
+    cases = {}
+    for label, factory in CASES:
+        optimized, opt_seconds = _timed(workload, factory())
+        reference, ref_seconds = _timed(
+            workload, configure_reference_kernel(factory())
+        )
+        identical = optimized.start_times() == reference.start_times()
+        if not identical:  # a speedup over a different schedule is no speedup
+            raise AssertionError(f"{label}: kernels produced different schedules")
+        events = optimized.events_processed
+        cases[label] = {
+            "events": events,
+            "identical_schedules": identical,
+            "optimized_seconds": round(opt_seconds, 3),
+            "reference_seconds": round(ref_seconds, 3),
+            "optimized_events_per_second": round(events / opt_seconds, 1),
+            "reference_events_per_second": round(
+                reference.events_processed / ref_seconds, 1
+            ),
+            "speedup": round(ref_seconds / opt_seconds, 2),
+        }
+        print(
+            f"{label:12s} opt {cases[label]['optimized_events_per_second']:>9.1f} ev/s"
+            f"  ref {cases[label]['reference_events_per_second']:>8.1f} ev/s"
+            f"  speedup {cases[label]['speedup']:.2f}x"
+        )
+    return cases
+
+
+# -- profile-op microbenchmarks ------------------------------------------------
+
+
+def _random_running(rng, total: int, n: int):
+    """``n`` running jobs narrow enough that the set fits the machine."""
+    width_cap = max(2, total // n)
+    return [
+        (int(rng.integers(1, width_cap + 1)), float(rng.uniform(10.0, 5000.0)))
+        for _ in range(n)
+    ]
+
+
+def _bench_op(op, iterations: int) -> float:
+    """Microseconds per call, best of three batches."""
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            op()
+        best = min(best, time.perf_counter() - started)
+    return best / iterations * 1e6
+
+
+def run_profile_ops(total: int = 1024) -> dict:
+    rng = np.random.default_rng(11)
+    running = _random_running(rng, total, 128)
+    claims = [
+        (int(rng.integers(1, 13)), float(rng.uniform(50.0, 2500.0)))
+        for _ in range(64)
+    ]
+
+    def repack_pass(profile_cls):
+        profile = profile_cls(total)
+
+        def op():
+            profile.rebuild_into(0.0, running)
+            for procs, duration in claims:
+                profile.claim(procs, duration, 0.0)
+
+        return op
+
+    def rebuild_only(profile_cls):
+        profile = profile_cls(total)
+        return lambda: profile.rebuild_into(0.0, running)
+
+    deep_opt = Profile(total)
+    deep_ref = profile_ref.Profile(total)
+    for profile in (deep_opt, deep_ref):
+        profile.rebuild_into(0.0, running)
+        for procs, duration in claims:
+            profile.claim(procs, duration, 0.0)
+
+    ops = {
+        "rebuild_running_128": (rebuild_only(Profile), rebuild_only(profile_ref.Profile), 400, 40),
+        "repack_128_running_64_queued": (repack_pass(Profile), repack_pass(profile_ref.Profile), 40, 4),
+        "find_start_deep_profile": (
+            lambda: deep_opt.find_start(8, 777.0, 0.0),
+            lambda: deep_ref.find_start(8, 777.0, 0.0),
+            2000,
+            400,
+        ),
+    }
+    results = {}
+    for name, (opt_op, ref_op, opt_iters, ref_iters) in ops.items():
+        opt_us = _bench_op(opt_op, opt_iters)
+        ref_us = _bench_op(ref_op, ref_iters)
+        results[name] = {
+            "optimized_us": round(opt_us, 2),
+            "reference_us": round(ref_us, 2),
+            "speedup": round(ref_us / opt_us, 2),
+        }
+        print(
+            f"{name:30s} opt {opt_us:>9.2f} us  ref {ref_us:>9.2f} us  "
+            f"speedup {results[name]['speedup']:.2f}x"
+        )
+    return results
+
+
+def main() -> None:
+    workload = make_stress_workload()
+    payload = {
+        "schema": 1,
+        "workload": dict(WORKLOAD_PARAMS),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "cases": run_cases(workload),
+        "profile_ops": run_profile_ops(),
+    }
+    out = Path(__file__).parent / "BENCH_kernel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    # The PR's acceptance bar: the conservative-repack case must hold 3x.
+    cons = payload["cases"]["cons-FCFS"]
+    if cons["speedup"] < 3.0:
+        print(f"WARNING: cons-FCFS speedup {cons['speedup']}x is below the 3x bar")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -71,32 +71,46 @@ def test_executor_scaling_writes_bench_json():
     serial_metrics = serial.execute(cells)
     serial_seconds = time.perf_counter() - started
 
-    parallel = CellExecutor(max_workers=EXECUTOR_WORKERS, store=ResultStore())
-    started = time.perf_counter()
-    parallel_metrics = parallel.execute(cells)
-    parallel_seconds = time.perf_counter() - started
-
-    # The speedup claim is only meaningful if the results are identical.
-    for s, p in zip(serial_metrics, parallel_metrics):
-        assert metrics_digest(s) == metrics_digest(p)
+    # Speedup only materializes with real cores: on a <= 2-CPU box the
+    # parallel run just measures pool overhead, and the resulting "0.9x
+    # speedup" reads as a regression that isn't there.  Skip the leg and
+    # say so in the JSON instead of recording a meaningless number.
+    cpu_count = os.cpu_count() or 1
+    parallel_leg_run = cpu_count > 2
 
     events = serial.last_report.events_processed
     payload = {
-        "schema": 1,
+        "schema": 2,
         "n_cells": len(cells),
         "n_jobs_per_cell": EXECUTOR_N_JOBS,
         "max_workers": EXECUTOR_WORKERS,
-        # Speedup only materializes with real cores; on a 1-CPU box the
-        # parallel run just measures pool overhead.  Record the machine so
-        # the number can be read honestly.
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "parallel_leg_run": parallel_leg_run,
         "serial_seconds": round(serial_seconds, 3),
-        "parallel_seconds": round(parallel_seconds, 3),
-        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "parallel_seconds": None,
+        "speedup": None,
         "events_processed": events,
         "serial_events_per_second": round(events / serial_seconds, 1),
-        "parallel_events_per_second": round(events / parallel_seconds, 1),
+        "parallel_events_per_second": None,
     }
+
+    if parallel_leg_run:
+        parallel = CellExecutor(max_workers=EXECUTOR_WORKERS, store=ResultStore())
+        started = time.perf_counter()
+        parallel_metrics = parallel.execute(cells)
+        parallel_seconds = time.perf_counter() - started
+
+        # The speedup claim is only meaningful if the results are identical.
+        for s, p in zip(serial_metrics, parallel_metrics):
+            assert metrics_digest(s) == metrics_digest(p)
+
+        payload.update(
+            parallel_seconds=round(parallel_seconds, 3),
+            speedup=round(serial_seconds / parallel_seconds, 2),
+            parallel_events_per_second=round(events / parallel_seconds, 1),
+        )
+
     out = Path(__file__).parent / "BENCH_executor.json"
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    assert parallel_seconds < serial_seconds * 1.5  # sanity, not a strict bar
+    if parallel_leg_run:
+        assert parallel_seconds < serial_seconds * 1.5  # sanity, not a strict bar

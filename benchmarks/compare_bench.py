@@ -1,0 +1,99 @@
+"""Diff two BENCH_*.json snapshots and fail on throughput regression.
+
+Usage::
+
+    python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.30]
+
+Walks both payloads for numeric leaves whose key ends in
+``events_per_second`` (the schema-agnostic throughput convention shared by
+``BENCH_kernel.json`` and ``BENCH_executor.json``), prints a side-by-side
+table, and exits nonzero if any metric present in both files dropped by
+more than ``threshold`` (default 30% — wide enough to absorb host noise,
+tight enough to catch a lost optimization).  Metrics present in only one
+file are reported but never fail the comparison, so adding or removing a
+bench case does not break the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def throughput_leaves(payload, prefix=""):
+    """Flatten to {dotted.path: value} for *events_per_second keys."""
+    leaves = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                leaves.update(throughput_leaves(value, path))
+            elif isinstance(value, (int, float)) and str(key).endswith(
+                "events_per_second"
+            ):
+                leaves[path] = float(value)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            leaves.update(throughput_leaves(value, f"{prefix}[{index}]"))
+    return leaves
+
+
+def compare(old: dict, new: dict, threshold: float) -> list[str]:
+    """Return regression descriptions (empty = gate passes); prints the table."""
+    old_leaves = throughput_leaves(old)
+    new_leaves = throughput_leaves(new)
+    regressions = []
+    width = max((len(k) for k in old_leaves | new_leaves), default=10)
+    for path in sorted(old_leaves | new_leaves):
+        before = old_leaves.get(path)
+        after = new_leaves.get(path)
+        if before is None:
+            print(f"{path:{width}s}  (new metric)        -> {after:>12.1f}")
+            continue
+        if after is None:
+            print(f"{path:{width}s}  {before:>12.1f} -> (removed)")
+            continue
+        change = (after - before) / before if before else 0.0
+        flag = ""
+        if after < before * (1.0 - threshold):
+            flag = "  REGRESSION"
+            regressions.append(
+                f"{path}: {before:.1f} -> {after:.1f} ev/s ({change:+.1%})"
+            )
+        print(f"{path:{width}s}  {before:>12.1f} -> {after:>12.1f} ({change:+.1%}){flag}")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional events/s drop that fails the gate (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    old = json.loads(args.old.read_text(encoding="utf-8"))
+    new = json.loads(args.new.read_text(encoding="utf-8"))
+    regressions = compare(old, new, args.threshold)
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,7 +94,7 @@ class ConservativeScheduler(Scheduler):
 
     def _profile_at(self, now: float) -> Profile:
         if self._profile is None:
-            self._profile = Profile(self._machine().total_procs, origin=now)
+            self._profile = self.profile_factory(self._machine().total_procs, origin=now)
             from repro.sched.reservations import carve_reservations
 
             carve_reservations(self._profile, self.advance_reservations, now)
@@ -161,8 +161,7 @@ class ConservativeScheduler(Scheduler):
 
     def on_arrival(self, job: Job, now: float) -> list[Job]:
         profile = self._profile_at(now)
-        start = profile.find_start(job.procs, job.estimate, now)
-        profile.reserve(job.procs, start, job.estimate)
+        start = profile.claim(job.procs, job.estimate, now)
         started: list[Job] = []
         if start <= now + _EPS and self._machine_fits(job):
             self._start_now(job, now, started)
@@ -229,11 +228,16 @@ class ConservativeScheduler(Scheduler):
         The profile is reconstructed from the running jobs' estimated
         remainders, then queued jobs claim earliest-feasible slots in
         priority order.  Jobs whose fresh slot is *now* start immediately
-        (their usage stays in the profile as running occupancy).
+        (their usage stays in the profile as running occupancy).  The
+        rebuild reuses the existing profile's arrays (one endpoint sweep,
+        no allocation) — repack runs on every early completion, so this is
+        the kernel's hottest path.
         """
         machine = self._machine()
-        profile = Profile.from_running_jobs(
-            machine.total_procs,
+        profile = self._profile
+        if profile is None:
+            profile = self.profile_factory(machine.total_procs, origin=now)
+        profile.rebuild_into(
             now,
             [
                 (job.procs, self._running_resv_end[job.job_id])
@@ -246,8 +250,7 @@ class ConservativeScheduler(Scheduler):
         self._profile = profile
         committed = sum(j.procs for j in started)
         for queued in self._ordered_queue(now):
-            start = profile.find_start(queued.procs, queued.estimate, now)
-            profile.reserve(queued.procs, start, queued.estimate)
+            start = profile.claim(queued.procs, queued.estimate, now)
             self._reservation_start[queued.job_id] = start
             if start <= now + _EPS and self._machine_fits(queued, committed):
                 self._dequeue(queued)

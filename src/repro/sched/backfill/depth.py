@@ -45,14 +45,24 @@ class DepthScheduler(Scheduler):
             raise ConfigurationError(f"depth must be >= 1, got {depth}")
         self.depth = depth
         self.advance_reservations = tuple(advance_reservations)
+        self._profile_buffer: Profile | None = None
+
+    def reset(self) -> None:
+        self._profile_buffer = None
 
     def describe(self) -> str:
         return f"{self.name}({self.priority.name}, k={self.depth})"
 
     def _schedule_pass(self, now: float) -> list[Job]:
         machine = self._machine()
-        profile = Profile.from_running_jobs(
-            machine.total_procs,
+        # The plan is rebuilt from scratch each pass, but into a reused
+        # buffer: one endpoint sweep, no per-event allocation.
+        profile = self._profile_buffer
+        if profile is None:
+            profile = self._profile_buffer = self.profile_factory(
+                machine.total_procs, origin=now
+            )
+        profile.rebuild_into(
             now,
             [(job.procs, start + job.estimate) for job, start in self._running.values()],
         )
@@ -65,9 +75,7 @@ class DepthScheduler(Scheduler):
 
         reservations: dict[int, float] = {}
         for job in queue[: self.depth]:
-            start = profile.find_start(job.procs, job.estimate, now)
-            profile.reserve(job.procs, start, job.estimate)
-            reservations[job.job_id] = start
+            reservations[job.job_id] = profile.claim(job.procs, job.estimate, now)
 
         committed = 0
         for job in queue:

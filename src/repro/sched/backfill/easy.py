@@ -34,6 +34,50 @@ class EasyScheduler(Scheduler):
 
     name = "EASY"
 
+    #: Reuse the (shadow, extra) pair across events that change neither the
+    #: running set nor the blocked head.  Safe because a running job always
+    #: has ``start + estimate > now`` (runtimes are capped at estimates and
+    #: releases are processed before scheduler reactions), so the shadow is
+    #: a function of (head, free, running set) only — not of ``now``.
+    #: Disabled by ``configure_reference_kernel`` for differential runs.
+    use_shadow_cache: bool = True
+
+    #: Class-level default so the invalidation hooks work pre-bind().
+    _shadow_cache: tuple[tuple[int, int], tuple[float, int]] | None = None
+
+    def reset(self) -> None:
+        # (head_job_id, free_procs) -> (shadow, extra)
+        self._shadow_cache: tuple[tuple[int, int], tuple[float, int]] | None = None
+
+    def notify_started(self, job: Job, now: float) -> None:
+        super().notify_started(job, now)
+        self._shadow_cache = None
+
+    def notify_finished(self, job: Job, now: float) -> None:
+        super().notify_finished(job, now)
+        self._shadow_cache = None
+
+    def _shadow_cached(
+        self,
+        head: Job,
+        now: float,
+        free: int,
+        pseudo_running: list[tuple[Job, float]],
+        cacheable: bool,
+    ) -> tuple[float, int]:
+        """Memoized :meth:`_shadow`; only consulted when ``cacheable``
+        (no same-pass starts, so ``pseudo_running`` is exactly the
+        notified running set the invalidation hooks track)."""
+        if not (cacheable and self.use_shadow_cache):
+            return self._shadow(head, now, free, pseudo_running)
+        key = (head.job_id, free)
+        cached = self._shadow_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        result = self._shadow(head, now, free, pseudo_running)
+        self._shadow_cache = (key, result)
+        return result
+
     def _shadow(
         self,
         head: Job,
@@ -84,7 +128,9 @@ class EasyScheduler(Scheduler):
         pseudo_running = list(self._running.values()) + [
             (job, now) for job in started
         ]
-        shadow, extra = self._shadow(head, now, free, pseudo_running)
+        shadow, extra = self._shadow_cached(
+            head, now, free, pseudo_running, cacheable=not started
+        )
 
         # Phase 3: backfill the remainder of the queue in priority order.
         for job in queue[1:]:

@@ -90,7 +90,9 @@ class LookaheadScheduler(EasyScheduler):
 
         head = queue[0]
         pseudo_running = list(self._running.values()) + [(job, now) for job in started]
-        shadow, extra = self._shadow(head, now, free, pseudo_running)
+        shadow, extra = self._shadow_cached(
+            head, now, free, pseudo_running, cacheable=not started
+        )
 
         # Partition the remaining queue by which EASY condition applies.
         shadow_safe = [

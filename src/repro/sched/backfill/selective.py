@@ -61,9 +61,11 @@ class SelectiveScheduler(Scheduler):
         self.xfactor_threshold = xfactor_threshold
         self.advance_reservations = tuple(advance_reservations)
         self._reserved_ids: set[int] = set()
+        self._profile_buffer: Profile | None = None
 
     def reset(self) -> None:
         self._reserved_ids.clear()
+        self._profile_buffer = None
 
     # -- internals ------------------------------------------------------------
 
@@ -83,10 +85,15 @@ class SelectiveScheduler(Scheduler):
         machine = self._machine()
         self._update_reserved_set(now)
 
-        # Rebuild the availability profile from scratch each pass: running
-        # jobs occupy processors until their estimated completions.
-        profile = Profile.from_running_jobs(
-            machine.total_procs,
+        # Rebuild the availability profile from scratch each pass (running
+        # jobs occupy processors until their estimated completions), but
+        # into a reused buffer: one endpoint sweep, no per-event allocation.
+        profile = self._profile_buffer
+        if profile is None:
+            profile = self._profile_buffer = self.profile_factory(
+                machine.total_procs, origin=now
+            )
+        profile.rebuild_into(
             now,
             [(job.procs, start + job.estimate) for job, start in self._running.values()],
         )
@@ -102,9 +109,7 @@ class SelectiveScheduler(Scheduler):
         reservations: dict[int, float] = {}
         for job in queue:
             if job.job_id in self._reserved_ids:
-                start = profile.find_start(job.procs, job.estimate, now)
-                profile.reserve(job.procs, start, job.estimate)
-                reservations[job.job_id] = start
+                reservations[job.job_id] = profile.claim(job.procs, job.estimate, now)
 
         # Start whatever can run immediately without disturbing reservations.
         committed = 0

@@ -64,32 +64,43 @@ class SlackScheduler(Scheduler):
         self.slack_factor = slack_factor
         self.max_candidates = max_candidates
         self._deadline: dict[int, float] = {}
+        self._profile_buffer: Profile | None = None
 
     def reset(self) -> None:
         self._deadline.clear()
+        self._profile_buffer = None
 
     # -- planning helpers ------------------------------------------------------
 
     def _running_profile(self, now: float, extra: list[tuple[Job, float]]) -> Profile:
+        """Occupancy profile of the running set (+``extra`` tentative starts).
+
+        Rebuilds into one reused buffer: every admission test costs a
+        replan, so no plan or trial profile outlives the next call.
+        """
         machine = self._machine()
         occupancy = [
             (job.procs, start + job.estimate)
             for job, start in list(self._running.values()) + extra
         ]
-        return Profile.from_running_jobs(machine.total_procs, now, occupancy)
+        profile = self._profile_buffer
+        if profile is None:
+            profile = self._profile_buffer = self.profile_factory(
+                machine.total_procs, origin=now
+            )
+        profile.rebuild_into(now, occupancy)
+        return profile
 
     def _plan(
         self, now: float, profile: Profile, jobs: list[Job]
     ) -> dict[int, float]:
-        """FCFS earliest-feasible plan for ``jobs`` on (a copy of) ``profile``.
+        """FCFS earliest-feasible plan for ``jobs`` on ``profile``.
 
-        Mutates the given profile; callers pass a fresh one each time.
+        Mutates the given profile; callers rebuild it before each call.
         """
         plan: dict[int, float] = {}
         for job in sorted(jobs, key=lambda j: (j.submit_time, j.job_id)):
-            start = profile.find_start(job.procs, job.estimate, now)
-            profile.reserve(job.procs, start, job.estimate)
-            plan[job.job_id] = start
+            plan[job.job_id] = profile.claim(job.procs, job.estimate, now)
         return plan
 
     def _deadlines_met(self, plan: dict[int, float]) -> bool:

@@ -9,15 +9,26 @@ against a read-only view of the machine and their own bookkeeping.
 Schedulers never see a job's actual runtime — all planning uses
 ``job.estimate`` — which is exactly the information asymmetry the paper
 studies.
+
+Queue-order maintenance (kernel fast path): policies whose sort keys never
+change as time passes (``PriorityPolicy.is_dynamic`` is False — FCFS, SJF,
+LJF, narrowest-first) get an *incrementally sorted* queue: arrivals are
+placed by binary insertion and :meth:`Scheduler._ordered_queue` is a copy,
+not a sort.  Time-varying policies (XFactor, fair-share) re-sort per event
+as before.  Keys always end in ``(submit_time, job_id)``, so both paths
+produce the identical total order.  ``incremental_queue = False`` restores
+the always-re-sort behaviour (used by the reference-kernel benchmarks).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import insort
 
 from repro.cluster.machine import Machine
 from repro.errors import SchedulingError
 from repro.sched.priority.policies import FCFSPriority, PriorityPolicy
+from repro.sched.profile import Profile
 from repro.workload.job import Job
 
 __all__ = ["Scheduler"]
@@ -43,10 +54,21 @@ class Scheduler(ABC):
     #: rectangle; the simulator rejects ARs on anything else.
     supports_advance_reservations: bool = False
 
+    #: Profile implementation used by reservation-planning subclasses.
+    #: Tests and benchmarks point instances at
+    #: :class:`repro.sched.profile_ref.Profile` to run the frozen
+    #: reference kernel (see ``configure_reference_kernel``).
+    profile_factory: type[Profile] = Profile
+
+    #: Keep statically-keyed queues sorted by binary insertion instead of
+    #: re-sorting every pass.  Flip to False for the reference kernel.
+    incremental_queue: bool = True
+
     def __init__(self, priority: PriorityPolicy | None = None) -> None:
         self.priority: PriorityPolicy = priority or FCFSPriority()
         self.machine: Machine | None = None
         self._queue: list[Job] = []
+        self._queue_is_sorted = False  # set at bind(); see module docstring
         self._running: dict[int, tuple[Job, float]] = {}  # id -> (job, start)
         self._request_wakeup = None  # set by bind(); Callable[[float], None]
 
@@ -63,6 +85,7 @@ class Scheduler(ABC):
         self.machine = machine
         self._request_wakeup = request_wakeup
         self._queue.clear()
+        self._queue_is_sorted = self.incremental_queue and not self.priority.is_dynamic
         self._running.clear()
         # Stateful priority policies (e.g. fair-share usage tracking) are
         # reset per run so a scheduler instance can be reused.
@@ -148,7 +171,14 @@ class Scheduler(ABC):
         return len(self._queue)
 
     def _enqueue(self, job: Job) -> None:
-        self._queue.append(job)
+        if self._queue_is_sorted:
+            # Static keys ignore ``now``; 0.0 is an arbitrary stand-in.
+            insort(self._queue, job, key=self._static_key)
+        else:
+            self._queue.append(job)
+
+    def _static_key(self, job: Job) -> tuple:
+        return self.priority.key(job, 0.0)
 
     def _dequeue(self, job: Job) -> None:
         try:
@@ -160,6 +190,8 @@ class Scheduler(ABC):
 
     def _ordered_queue(self, now: float) -> list[Job]:
         """The idle queue in priority order at time ``now``."""
+        if self._queue_is_sorted:
+            return list(self._queue)
         return self.priority.sort(self._queue, now)
 
     def _machine(self) -> Machine:

@@ -17,6 +17,14 @@ first) and **SmallestFirst** (narrowest first), plus a weighted
 A policy maps ``(job, now)`` to a sort key; *smaller keys run first*.
 Every key ends with ``(submit_time, job_id)`` so orderings are total and
 deterministic, which keeps whole simulations reproducible.
+
+:attr:`PriorityPolicy.is_dynamic` is a load-bearing performance flag, not
+documentation: the scheduler base class keeps the idle queue of a
+*static* policy (``is_dynamic`` is False) sorted incrementally by binary
+insertion and never re-sorts it, so a policy whose keys depend on ``now``
+or on mutable internal state (fair-share usage) MUST declare
+``is_dynamic = True`` or queues will silently serve a stale order.
+Static keys must ignore the ``now`` argument entirely.
 """
 
 from __future__ import annotations
@@ -70,7 +78,12 @@ class PriorityPolicy(ABC):
 
     @property
     def is_dynamic(self) -> bool:
-        """True if keys change as time passes (queue must be re-sorted)."""
+        """True if keys change as time passes (queue must be re-sorted).
+
+        Static policies (the False default) get an incrementally
+        maintained sorted queue from :class:`repro.sched.base.Scheduler`;
+        their :meth:`key` must therefore be a pure function of the job.
+        """
         return False
 
     def __repr__(self) -> str:

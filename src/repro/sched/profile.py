@@ -12,18 +12,35 @@ Operations:
   (the core primitive of every backfilling scheduler);
 * :meth:`reserve` / :meth:`release` — carve a rectangle out of / back into
   the free function;
-* :meth:`advance` — garbage-collect breakpoints behind the simulation clock.
+* :meth:`advance` — garbage-collect breakpoints behind the simulation clock;
+* :meth:`rebuild_into` — reset and bulk-load a running set in one endpoint
+  sweep, reusing the existing arrays (the repack fast path).
 
 All mutations validate that free counts stay within ``[0, total_procs]``,
 so double-reservations and mismatched releases fail fast
 (:class:`~repro.errors.ProfileError`).
+
+Performance contract (see DESIGN.md "Performance"): breakpoints live in
+capacity-managed numpy arrays so the kernel's inner loops — the
+feasibility sweep of :meth:`find_start`, the window validation and delta
+application of :meth:`_apply`, the window minimum of :meth:`min_free` —
+run vectorized instead of one Python iteration per segment.  The arrays
+are kept *coalesced* (no two adjacent segments share a free count) as a
+strict invariant; because :meth:`_apply` adds one delta to a contiguous
+run of segments, only the two window edges can ever newly violate it, so
+mutations repair locally in O(1) instead of re-scanning.  The slow
+pre-optimization implementation is frozen verbatim in
+:mod:`repro.sched.profile_ref`; every optimization here is gated on
+byte-identical schedules against it
+(``tests/properties/test_prop_kernel_equivalence.py``).
 """
 
 from __future__ import annotations
 
-import bisect
 import math
 from typing import Iterable
+
+import numpy as np
 
 from repro.errors import ProfileError
 
@@ -36,7 +53,10 @@ _EPS = 1e-9
 class Profile:
     """Free-processor step function over ``[origin, +inf)``."""
 
-    __slots__ = ("total_procs", "_times", "_free")
+    __slots__ = ("total_procs", "_times", "_free", "_n")
+
+    #: Initial breakpoint capacity; doubled on demand.
+    _INIT_CAPACITY = 64
 
     def __init__(self, total_procs: int, origin: float = 0.0) -> None:
         if total_procs <= 0:
@@ -44,44 +64,85 @@ class Profile:
         if not math.isfinite(origin):
             raise ProfileError(f"profile origin must be finite, got {origin}")
         self.total_procs = total_procs
-        # Parallel arrays: breakpoint times and the free count from each
-        # breakpoint until the next.  Invariants: _times strictly increasing,
-        # _times[0] is the origin, 0 <= free <= total_procs.
-        self._times: list[float] = [origin]
-        self._free: list[int] = [total_procs]
+        # Capacity-managed parallel arrays: breakpoint times and the free
+        # count from each breakpoint until the next; only the first ``_n``
+        # entries are live.  Invariants: times strictly increasing,
+        # times[0] is the origin, 0 <= free <= total_procs, and no two
+        # adjacent free counts are equal (coalesced).
+        self._times = np.empty(self._INIT_CAPACITY, dtype=np.float64)
+        self._free = np.empty(self._INIT_CAPACITY, dtype=np.int64)
+        self._times[0] = origin
+        self._free[0] = total_procs
+        self._n = 1
+
+    # -- storage management ---------------------------------------------------
+
+    def _reserve_capacity(self, need: int) -> None:
+        """Grow the backing arrays to hold at least ``need`` breakpoints."""
+        capacity = len(self._times)
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+        times = np.empty(capacity, dtype=np.float64)
+        free = np.empty(capacity, dtype=np.int64)
+        times[: self._n] = self._times[: self._n]
+        free[: self._n] = self._free[: self._n]
+        self._times = times
+        self._free = free
+
+    def _insert(self, index: int, time: float, count: int) -> None:
+        """Insert a breakpoint at ``index`` (C-speed shift, no Python loop)."""
+        n = self._n
+        self._reserve_capacity(n + 1)
+        # numpy guarantees overlapping slice assignment copies-then-writes.
+        self._times[index + 1 : n + 1] = self._times[index:n]
+        self._free[index + 1 : n + 1] = self._free[index:n]
+        self._times[index] = time
+        self._free[index] = count
+        self._n = n + 1
+
+    def _delete(self, index: int) -> None:
+        """Drop the breakpoint at ``index`` (segment merges into its left)."""
+        n = self._n
+        self._times[index : n - 1] = self._times[index + 1 : n]
+        self._free[index : n - 1] = self._free[index + 1 : n]
+        self._n = n - 1
 
     # -- queries --------------------------------------------------------------
 
     @property
     def origin(self) -> float:
         """Left edge of the profile (the current simulation clock)."""
-        return self._times[0]
+        return float(self._times[0])
 
     def free_at(self, time: float) -> int:
         """Free processors at ``time`` (must be >= origin)."""
-        if time < self._times[0] - _EPS:
+        times = self._times[: self._n]
+        if time < times[0] - _EPS:
             raise ProfileError(
-                f"query at {time} precedes profile origin {self._times[0]}"
+                f"query at {time} precedes profile origin {times[0]}"
             )
-        index = bisect.bisect_right(self._times, time + _EPS) - 1
-        return self._free[max(index, 0)]
+        index = int(times.searchsorted(time + _EPS, side="right")) - 1
+        return int(self._free[max(index, 0)])
 
     def min_free(self, start: float, duration: float) -> int:
         """Minimum free processors over the window ``[start, start+duration)``."""
         if duration <= 0:
             return self.free_at(start)
         end = start + duration
-        first = max(bisect.bisect_right(self._times, start + _EPS) - 1, 0)
-        lowest = self.total_procs
-        for index in range(first, len(self._times)):
-            if self._times[index] >= end - _EPS:
-                break
-            lowest = min(lowest, self._free[index])
-        return lowest
+        times = self._times[: self._n]
+        first = max(int(times.searchsorted(start + _EPS, side="right")) - 1, 0)
+        stop = int(times.searchsorted(end - _EPS, side="left"))
+        if stop <= first:
+            return self.total_procs
+        return int(self._free[first:stop].min())
 
     def breakpoints(self) -> list[tuple[float, int]]:
         """Copy of the step function as ``(time, free)`` pairs."""
-        return list(zip(self._times, self._free))
+        return list(
+            zip(self._times[: self._n].tolist(), self._free[: self._n].tolist())
+        )
 
     # -- core primitive ----------------------------------------------------------
 
@@ -90,11 +151,11 @@ class Profile:
 
         Candidate anchors are ``earliest`` itself and every later breakpoint
         (free counts only change at breakpoints, so the optimum is always one
-        of these).  Implemented as a single left-to-right sweep tracking the
-        start of the current feasible run — O(breakpoints), not
-        O(breakpoints^2) as a per-anchor rescan would be (this is the inner
-        loop of every reservation-based scheduler; see
-        benchmarks/bench_profile.py).  Always succeeds: the profile ends in
+        of these).  The feasibility mask and its run boundaries are computed
+        vectorized, then each maximal feasible run is checked for covering
+        ``duration`` — O(breakpoints) total work with numpy constants (this
+        is the inner loop of every reservation-based scheduler; see
+        benchmarks/bench_kernel.py).  Always succeeds: the profile ends in
         a final infinite segment, so any rectangle with ``procs <= total``
         fits once all reservations end — unless the tail itself is
         over-reserved, which is a usage bug.
@@ -105,46 +166,160 @@ class Profile:
             )
         if duration <= 0:
             raise ProfileError(f"duration must be > 0, got {duration}")
-        earliest = max(earliest, self._times[0])
+        n = self._n
+        times = self._times[:n]
+        if earliest < times[0]:
+            earliest = float(times[0])
 
-        times, free = self._times, self._free
-        # Exact bisect, NOT the +_EPS-fudged one the other queries use: with
-        # the fudge, a breakpoint in ``(earliest, earliest + _EPS]`` makes the
-        # sweep skip the segment that actually contains ``earliest`` — and if
-        # that segment is feasible, the job is delayed past a start the
-        # profile can support.  The exact form never anchors inside an
-        # infeasible sliver either: run_start stays clamped to segments whose
-        # free count was checked.
-        index = max(bisect.bisect_right(times, earliest) - 1, 0)
-        run_start: float | None = None
-        for i in range(index, len(times)):
-            if free[i] < procs:
-                run_start = None
-                continue
-            if run_start is None:
-                run_start = max(times[i], earliest)
-            segment_end = times[i + 1] if i + 1 < len(times) else math.inf
-            if segment_end >= run_start + duration - _EPS:
-                return run_start
+        # Exact searchsorted, NOT the +_EPS-fudged one the other queries
+        # use: with the fudge, a breakpoint in ``(earliest, earliest +
+        # _EPS]`` makes the sweep skip the segment that actually contains
+        # ``earliest`` — and if that segment is feasible, the job is
+        # delayed past a start the profile can support.  The exact form
+        # never anchors inside an infeasible sliver either: run starts stay
+        # clamped to segments whose free count was checked.  (``earliest >=
+        # times[0]`` after the clamp above, so ``index >= 0``.)
+        index = int(times.searchsorted(earliest, side="right")) - 1
+        feasible = self._free[index:n] >= procs
+
+        # Maximal feasible runs, via the flip positions of the mask (direct
+        # ndarray methods only — this is the hottest loop in the kernel and
+        # numpy's module-level wrappers cost more than the work itself).
+        # ``flips[k]`` is the first relative segment whose feasibility
+        # differs from its predecessor; runs of True therefore start at
+        # alternating flips (offset by whether segment 0 is feasible) and
+        # end at the next flip.  A run with no closing flip reaches the
+        # final segment and extends to infinity, so it always covers.
+        flips = (feasible[1:] != feasible[:-1]).nonzero()[0] + 1
+        if feasible[0]:
+            # The run containing ``earliest`` is anchored at ``earliest``
+            # itself, not at a breakpoint.
+            if flips.size == 0:
+                return earliest
+            if float(times[index + int(flips[0])]) >= earliest + duration - _EPS:
+                return earliest
+            starts = flips[1::2]
+            ends = flips[2::2]
+        else:
+            starts = flips[0::2]
+            ends = flips[1::2]
+        # Later runs begin strictly after ``earliest`` (their first segment
+        # starts at times[index + s] with s >= 1), so no clamping needed.
+        slist = starts.tolist()
+        elist = ends.tolist()
+        for k in range(len(elist)):
+            begin = float(times[index + slist[k]])
+            if float(times[index + elist[k]]) >= begin + duration - _EPS:
+                return begin
+        if len(slist) > len(elist):
+            return float(times[index + slist[-1]])
         raise ProfileError(
             f"no feasible start for {procs} procs x {duration}s — "
             "the profile's tail is over-reserved"
         )
 
+    def claim(self, procs: int, duration: float, earliest: float) -> float:
+        """Fused :meth:`find_start` + :meth:`reserve`; returns the start.
+
+        Produces exactly the state and return value of the two-call
+        sequence, but in one pass: the feasibility sweep already proves
+        every segment in the winning window holds ``procs`` free, so the
+        reserve-side validation is redundant, and the window's start
+        breakpoint is known from the sweep (either a breakpoint the run
+        began at, or ``earliest`` resolved against its enclosing segment
+        with :meth:`_ensure_breakpoint`'s exact tolerance rules).  This is
+        the per-job placement step of every reservation repack loop —
+        the single hottest call in the kernel.
+        """
+        if procs <= 0 or procs > self.total_procs:
+            raise ProfileError(
+                f"cannot place {procs} procs on a {self.total_procs}-proc profile"
+            )
+        if duration <= 0:
+            raise ProfileError(f"duration must be > 0, got {duration}")
+        n = self._n
+        times = self._times[:n]
+        if earliest < times[0]:
+            earliest = float(times[0])
+        index = int(times.searchsorted(earliest, side="right")) - 1
+        feasible = self._free[index:n] >= procs
+        flips = (feasible[1:] != feasible[:-1]).nonzero()[0].tolist()
+
+        # Locate the winning run (same sweep as find_start; flip k sits at
+        # absolute breakpoint ``index + flips[k] + 1``).  ``bp`` is the
+        # absolute breakpoint index the window starts at, or -1 when the
+        # window is anchored at ``earliest`` inside its segment.
+        begin = 0.0
+        bp = -2  # not yet found
+        if feasible[0]:
+            if not flips or float(
+                times[index + 1 + flips[0]]
+            ) >= earliest + duration - _EPS:
+                begin = earliest
+                bp = -1
+            starts = flips[1::2]
+            ends = flips[2::2]
+        else:
+            starts = flips[0::2]
+            ends = flips[1::2]
+        if bp == -2:
+            for k in range(len(ends)):
+                s = index + 1 + starts[k]
+                anchor = float(times[s])
+                if float(times[index + 1 + ends[k]]) >= anchor + duration - _EPS:
+                    begin = anchor
+                    bp = s
+                    break
+            else:
+                if len(starts) > len(ends):
+                    s = index + 1 + starts[-1]
+                    begin = float(times[s])  # final run: infinite tail
+                    bp = s
+                else:
+                    raise ProfileError(
+                        f"no feasible start for {procs} procs x {duration}s — "
+                        "the profile's tail is over-reserved"
+                    )
+
+        # Apply the reservation without re-validating.  Resolve the start
+        # breakpoint scalar-wise: breakpoints are pairwise > _EPS apart, so
+        # when the run begins at breakpoint ``bp`` the tolerance search
+        # could only ever find ``bp`` itself; when it begins at
+        # ``earliest``, the enclosing segment's edges are the only
+        # candidates within tolerance.
+        if bp >= 0:
+            first = bp
+        else:
+            nxt = index + 1
+            if nxt < n and float(times[nxt]) - begin <= _EPS:
+                first = nxt
+            elif begin - float(times[index]) <= _EPS:
+                first = index
+            else:
+                self._insert(index + 1, begin, int(self._free[index]))
+                first = index + 1
+        last = self._ensure_breakpoint(begin + duration)
+        self._free[first:last] -= procs
+        if self._free[last] == self._free[last - 1]:
+            self._delete(last)
+        if first > 0 and self._free[first] == self._free[first - 1]:
+            self._delete(first)
+        return begin
+
     # -- mutations ------------------------------------------------------------------
 
     def _ensure_breakpoint(self, time: float) -> int:
         """Make ``time`` a breakpoint (splitting a segment) and return its index."""
-        index = bisect.bisect_right(self._times, time + _EPS) - 1
-        if index >= 0 and abs(self._times[index] - time) <= _EPS:
+        times = self._times[: self._n]
+        index = int(times.searchsorted(time + _EPS, side="right")) - 1
+        if index >= 0 and abs(float(times[index]) - time) <= _EPS:
             return index
-        if time < self._times[0] - _EPS:
+        if time < float(times[0]) - _EPS:
             raise ProfileError(
-                f"breakpoint {time} precedes profile origin {self._times[0]}"
+                f"breakpoint {time} precedes profile origin {times[0]}"
             )
         insert_at = index + 1
-        self._times.insert(insert_at, time)
-        self._free.insert(insert_at, self._free[index])
+        self._insert(insert_at, time, int(self._free[index]))
         return insert_at
 
     def _apply(self, delta: int, start: float, end: float) -> None:
@@ -152,21 +327,39 @@ class Profile:
             raise ProfileError(f"empty reservation window [{start}, {end})")
         # Validate against the existing segments BEFORE touching the
         # representation, so a failed apply leaves the profile bit-identical.
-        first_seg = max(bisect.bisect_right(self._times, start + _EPS) - 1, 0)
-        for index in range(first_seg, len(self._times)):
-            if self._times[index] >= end - _EPS:
-                break
-            updated = self._free[index] + delta
-            if updated < 0 or updated > self.total_procs:
-                raise ProfileError(
-                    f"free count would become {updated} (valid range "
-                    f"[0, {self.total_procs}]) on [{self._times[index]}, ...)"
-                )
+        # Only one bound can be violated per sign of delta: a reserve
+        # (delta < 0) can only underflow the window minimum, a release only
+        # overflow the maximum — so a single vectorized reduction suffices.
+        times = self._times[: self._n]
+        first_seg = max(int(times.searchsorted(start + _EPS, side="right")) - 1, 0)
+        stop = int(times.searchsorted(end - _EPS, side="left"))
+        if stop > first_seg:
+            window = self._free[first_seg:stop]
+            if delta < 0:
+                worst = int(window.min()) + delta
+                if worst < 0:
+                    raise ProfileError(
+                        f"free count would become {worst} (valid range "
+                        f"[0, {self.total_procs}]) on [{start}, {end})"
+                    )
+            else:
+                worst = int(window.max()) + delta
+                if worst > self.total_procs:
+                    raise ProfileError(
+                        f"free count would become {worst} (valid range "
+                        f"[0, {self.total_procs}]) on [{start}, {end})"
+                    )
         first = self._ensure_breakpoint(start)
         last = self._ensure_breakpoint(end)
-        for index in range(first, last):
-            self._free[index] += delta
-        self._coalesce()
+        self._free[first:last] += delta
+        # Localized coalescing: every interior adjacent pair moved by the
+        # same delta, so (by the coalesced invariant) it stays unequal; only
+        # the two window edges can merge.  Repair ``last`` first so
+        # ``first``'s index is still valid.
+        if self._free[last] == self._free[last - 1]:
+            self._delete(last)
+        if first > 0 and self._free[first] == self._free[first - 1]:
+            self._delete(first)
 
     def reserve(self, procs: int, start: float, duration: float) -> None:
         """Subtract ``procs`` from the free function on ``[start, start+duration)``."""
@@ -184,31 +377,24 @@ class Profile:
         """Move the origin forward to ``time``, dropping stale breakpoints.
 
         The free count in force at ``time`` becomes the new first segment.
+        No coalescing is needed: surviving adjacent pairs were adjacent
+        (and hence unequal) before the prefix was dropped.
         """
-        if time < self._times[0] - _EPS:
+        n = self._n
+        times = self._times[:n]
+        if time < times[0] - _EPS:
             raise ProfileError(
-                f"cannot advance profile backwards ({self._times[0]} -> {time})"
+                f"cannot advance profile backwards ({times[0]} -> {time})"
             )
-        index = bisect.bisect_right(self._times, time + _EPS) - 1
+        index = int(times.searchsorted(time + _EPS, side="right")) - 1
         if index <= 0:
-            if abs(self._times[0] - time) > _EPS and time > self._times[0]:
+            if abs(times[0] - time) > _EPS and time > times[0]:
                 self._times[0] = time
             return
-        del self._times[:index]
-        del self._free[:index]
+        self._times[0 : n - index] = self._times[index:n]
+        self._free[0 : n - index] = self._free[index:n]
         self._times[0] = time
-        self._coalesce()
-
-    def _coalesce(self) -> None:
-        """Merge adjacent segments with equal free counts."""
-        write = 0
-        for read in range(1, len(self._times)):
-            if self._free[read] != self._free[write]:
-                write += 1
-                self._times[write] = self._times[read]
-                self._free[write] = self._free[read]
-        del self._times[write + 1 :]
-        del self._free[write + 1 :]
+        self._n = n - index
 
     # -- construction helpers ------------------------------------------------------
 
@@ -224,14 +410,61 @@ class Profile:
         Jobs whose estimated finish has already passed (defensive: cannot
         happen while runtimes are capped at estimates) occupy a
         microsecond-length slot so the present instant still shows them
-        busy.
+        busy.  Delegates to :meth:`rebuild_into` — one O(R log R) endpoint
+        sweep rather than R sequential reserve+coalesce passes.
         """
         profile = cls(total_procs, origin=now)
-        for procs, finish in running:
-            horizon = max(finish, now + 1e-6)
-            profile.reserve(procs, now, horizon - now)
+        profile.rebuild_into(now, running)
         return profile
 
+    def rebuild_into(self, now: float, running: Iterable[tuple[int, float]]) -> None:
+        """Reset to origin ``now`` and bulk-load ``running`` occupancy in place.
+
+        Reuses the existing breakpoint arrays, so repacking schedulers
+        (conservative's ``repack`` compression, depth, selective, slack)
+        can rebuild their plan every event without allocating a fresh
+        profile.  All running jobs occupy ``[now, horizon_i)``, so the free
+        function is ``total - sum(procs of jobs with horizon > t)``: one
+        sort of the horizons and a single sweep accumulating releases
+        yields the exact step function sequential reserves would build.
+        """
+        if not math.isfinite(now):
+            raise ProfileError(f"profile origin must be finite, got {now}")
+        floor = now + 1e-6
+        horizons: list[tuple[float, int]] = []
+        busy = 0
+        for procs, finish in running:
+            if procs <= 0:
+                raise ProfileError(f"reserve needs procs > 0, got {procs}")
+            busy += procs
+            horizons.append((finish if finish > floor else floor, procs))
+        if busy > self.total_procs:
+            raise ProfileError(
+                f"free count would become {self.total_procs - busy} (valid "
+                f"range [0, {self.total_procs}]) on [{now}, ...)"
+            )
+        horizons.sort()
+        self._reserve_capacity(len(horizons) + 1)
+        times, free = self._times, self._free
+        times[0] = now
+        level = self.total_procs - busy
+        free[0] = level
+        n = 1
+        for horizon, procs in horizons:
+            level += procs
+            if horizon - times[n - 1] <= _EPS:
+                # Endpoint merges with the previous breakpoint exactly the
+                # way _ensure_breakpoint's tolerance would.
+                free[n - 1] = level
+            else:
+                times[n] = horizon
+                free[n] = level
+                n += 1
+        self._n = n
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        steps = ", ".join(f"{t:.6g}:{f}" for t, f in zip(self._times, self._free))
+        steps = ", ".join(
+            f"{t:.6g}:{f}"
+            for t, f in zip(self._times[: self._n], self._free[: self._n])
+        )
         return f"Profile(total={self.total_procs}, steps=[{steps}])"

@@ -79,6 +79,7 @@ class Simulator:
         self._pending = 0
         self._events_processed = 0
         self._timer_times: set[float] = set()
+        self._timer_prune_at = 256  # amortized stale-entry prune threshold
         self._blocker_ids: set[int] = set()
         self._ran = False
 
@@ -212,6 +213,18 @@ class Simulator:
                     f"time went backwards: {self.clock} -> {batch_time}"
                 )
             self.clock = max(self.clock, batch_time)
+            # Prune timer-dedup entries for strictly-past timestamps: their
+            # TIMER events have fired and new requests clamp to >= clock, so
+            # they can never match again — without this the set grows
+            # monotonically over long traces.  Entries at exactly ``clock``
+            # stay: their events may be in this very batch, and
+            # _handle_timer discards them on the exact float.  The scan is
+            # amortized: it runs only once the set doubles past the last
+            # prune's survivor count, so a deep queue of genuinely live
+            # future timers is not rescanned every batch.
+            if len(self._timer_times) > self._timer_prune_at:
+                self._timer_times = {t for t in self._timer_times if t >= self.clock}
+                self._timer_prune_at = max(256, 2 * len(self._timer_times))
             # Drain every event sharing this timestamp (already kind-ordered:
             # finishes, then timers, then arrivals).  Events pushed *during*
             # processing at the same timestamp form the next batch.

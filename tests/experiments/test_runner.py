@@ -126,6 +126,23 @@ class TestCellCache:
         assert stored is not None
         assert stored.metrics is metrics
 
+    def test_run_cell_deprecation_path_still_returns_correct_metrics(self):
+        """The wrapper must warn AND keep producing the real simulation
+        result — deprecation is a migration path, not a behaviour change."""
+        from repro.sim.engine import simulate
+
+        with pytest.deprecated_call():
+            metrics = run_cell(SMALL, "cons", "SJF")
+        direct = simulate(
+            make_workload(SMALL), make_scheduler("cons", "SJF")
+        ).metrics
+        assert metrics.overall.mean_wait == direct.overall.mean_wait
+        assert (
+            metrics.overall.mean_bounded_slowdown
+            == direct.overall.mean_bounded_slowdown
+        )
+        assert len(metrics.records) == len(direct.records)
+
     def test_workload_cache_is_bounded(self):
         from repro.experiments.runner import WORKLOAD_CACHE_LIMIT, _workload_cache
 

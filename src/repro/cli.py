@@ -53,16 +53,29 @@ def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore --cache-dir: neither read nor write persisted results",
     )
+    subparser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="dispatch K cells per worker task (default: auto-size per "
+        "batch; only meaningful with --parallel > 1)",
+    )
 
 
 def _configure_execution(args: argparse.Namespace):
     """Shape the default executor from the parsed execution flags."""
     if args.parallel < 1:
         raise ReproError(f"--parallel must be >= 1, got {args.parallel}")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise ReproError(f"--chunk-size must be >= 1, got {args.chunk_size}")
     cache_dir = None if args.no_cache else args.cache_dir
     progress = _progress_printer() if sys.stderr.isatty() else None
     return configure_executor(
-        parallel=args.parallel, cache_dir=cache_dir, progress=progress
+        parallel=args.parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+        chunk_size=args.chunk_size,
     )
 
 

@@ -78,13 +78,18 @@ def configure(
     cache_dir=None,
     max_retries: int = 1,
     progress: Callable[[ExecutionReport], None] | None = None,
+    chunk_size: int | None = None,
+    preload_workloads: bool = True,
 ) -> CellExecutor:
     """Replace the default executor and return it.
 
     ``parallel`` sets the worker-process count (1 = serial),
     ``cache_dir`` enables the persistent disk layer, ``progress`` is
     invoked with the live :class:`ExecutionReport` after each completed
-    cell.  The previous default's in-memory results are discarded.
+    cell.  ``chunk_size`` fixes the cells-per-task dispatch granularity
+    (``None`` auto-sizes per batch) and ``preload_workloads`` controls
+    shipping pre-built workload tables to fresh workers.  The previous
+    default's in-memory results are discarded.
     """
     global _default_executor
     _default_executor = CellExecutor(
@@ -92,6 +97,8 @@ def configure(
         store=ResultStore(cache_dir=cache_dir),
         max_retries=max_retries,
         progress=progress,
+        chunk_size=chunk_size,
+        preload_workloads=preload_workloads,
     )
     return _default_executor
 

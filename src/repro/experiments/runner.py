@@ -12,13 +12,25 @@ keyword-style :func:`run_cell` survives as a thin deprecated wrapper.
 Workloads (the memory hog — thousands of Job objects each) are memoized
 here behind a bounded LRU so a long ``experiment all`` sweep cannot grow
 without bound.
+
+Workload construction is columnar: the expensive part — generating a
+trace's jobs — is memoized once per ``(trace, n_jobs, seed)`` as a
+:class:`~repro.workload.table.JobTable` (:func:`base_workload_table`),
+and each spec's load scale and estimate model are then derived from that
+table with vectorized transforms (:func:`make_workload_table`).  The
+result is float-identical to the original row-at-a-time path, which is
+kept as :func:`make_workload_rows` for the differential suite.  Worker
+processes can additionally be seeded with fully-derived tables up front
+(:func:`preload_workload_tables` — the executor ships them through the
+pool initializer as flat buffers) so the first cell a worker runs does
+not pay workload construction at all.
 """
 
 from __future__ import annotations
 
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.experiments.config import (
@@ -49,14 +61,19 @@ from repro.workload.generators.ctc import CTCGenerator
 from repro.workload.generators.lublin import LublinGenerator
 from repro.workload.generators.sdsc import SDSCGenerator
 from repro.workload.job import Workload
+from repro.workload.table import JobTable
 from repro.workload.transforms import apply_estimates, scale_load
 
 __all__ = [
     "ExperimentResult",
     "make_workload",
+    "make_workload_rows",
+    "make_workload_table",
+    "base_workload_table",
     "make_estimate_model",
     "make_scheduler",
     "cached_workload",
+    "preload_workload_tables",
     "run_cell",
     "clear_cache",
 ]
@@ -116,17 +133,74 @@ def make_estimate_model(spec: WorkloadSpec) -> EstimateModel:
     raise ConfigurationError(f"unknown estimate regime {spec.estimate!r}")
 
 
+def _generator_for(trace: str):
+    if trace == "CTC":
+        return CTCGenerator()
+    if trace == "SDSC":
+        return SDSCGenerator()
+    if trace == "LUBLIN":
+        return LublinGenerator()
+    # pragma: no cover - guarded by WorkloadSpec validation
+    raise ConfigurationError(f"unknown trace {trace!r}")
+
+
+#: Upper bound on memoized base (pre-transform) tables.  Generation
+#: dominates workload-construction cost; a sweep varies load scale and
+#: estimate regime over few (trace, n_jobs, seed) triples, so a small
+#: LRU captures nearly every reuse.
+BASE_TABLE_CACHE_LIMIT = 8
+
+_base_table_cache: OrderedDict[tuple[str, int, int], JobTable] = OrderedDict()
+
+
+def base_workload_table(trace: str, n_jobs: int, seed: int) -> JobTable:
+    """The generated (pre-transform) workload as a columnar table, memoized.
+
+    This is the expensive step of :func:`make_workload`; every spec that
+    shares a ``(trace, n_jobs, seed)`` triple derives its load scale and
+    estimates from this one table.
+    """
+    key = (trace, n_jobs, seed)
+    table = _base_table_cache.get(key)
+    if table is None:
+        workload = _generator_for(trace).generate(n_jobs, seed=seed)
+        table = JobTable.from_workload(workload)
+        _base_table_cache[key] = table
+        while len(_base_table_cache) > BASE_TABLE_CACHE_LIMIT:
+            _base_table_cache.popitem(last=False)
+    else:
+        _base_table_cache.move_to_end(key)
+    return table
+
+
+def make_workload_table(spec: WorkloadSpec) -> JobTable:
+    """Columnar :func:`make_workload`: derive the spec's conditions from
+    the memoized base table with vectorized transforms."""
+    table = base_workload_table(spec.trace, spec.n_jobs, spec.seed)
+    if spec.load_scale != 1.0:
+        table = scale_load(table, spec.load_scale)
+    model = make_estimate_model(spec)
+    if not isinstance(model, ExactEstimate):
+        table = apply_estimates(table, model, seed=spec.seed + _ESTIMATE_SEED_OFFSET)
+    return table
+
+
 def make_workload(spec: WorkloadSpec) -> Workload:
-    """Generate, load-scale, and estimate-stamp the workload a spec denotes."""
-    if spec.trace == "CTC":
-        generator = CTCGenerator()
-    elif spec.trace == "SDSC":
-        generator = SDSCGenerator()
-    elif spec.trace == "LUBLIN":
-        generator = LublinGenerator()
-    else:  # pragma: no cover - guarded by WorkloadSpec validation
-        raise ConfigurationError(f"unknown trace {spec.trace!r}")
-    workload = generator.generate(spec.n_jobs, seed=spec.seed)
+    """Generate, load-scale, and estimate-stamp the workload a spec denotes.
+
+    Goes through the columnar pipeline (:func:`make_workload_table`);
+    float-identical to the row reference :func:`make_workload_rows`.
+    """
+    return make_workload_table(spec).to_workload()
+
+
+def make_workload_rows(spec: WorkloadSpec) -> Workload:
+    """Row-at-a-time :func:`make_workload` (the reference implementation).
+
+    Rebuilds ``Job`` objects per transform instead of deriving columns;
+    kept for the differential suite and the benchmark's pre-PR leg.
+    """
+    workload = _generator_for(spec.trace).generate(spec.n_jobs, seed=spec.seed)
     if spec.load_scale != 1.0:
         workload = scale_load(workload, spec.load_scale)
     model = make_estimate_model(spec)
@@ -177,13 +251,45 @@ WORKLOAD_CACHE_LIMIT = 32
 
 _workload_cache: OrderedDict[WorkloadSpec, Workload] = OrderedDict()
 
+#: Spec -> JobTable payload, stashed by :func:`preload_workload_tables`
+#: in worker processes before any cell runs.
+_preloaded_tables: dict[WorkloadSpec, dict] = {}
+
+
+def preload_workload_tables(payloads: list[tuple[dict, dict]]) -> None:
+    """Stash pre-built workload tables for :func:`cached_workload`.
+
+    ``payloads`` is a list of ``(spec_fields, table_payload)`` pairs —
+    the spec's constructor kwargs plus ``JobTable.to_payload()`` output.
+    The executor calls this through the worker-pool initializer, so a
+    fresh worker answers its first ``cached_workload`` from the shipped
+    buffers instead of regenerating the trace.  Entries are consumed on
+    first use (the rebuilt ``Workload`` then lives in the normal LRU).
+    """
+    _preloaded_tables.clear()
+    for spec_fields, table_payload in payloads:
+        _preloaded_tables[WorkloadSpec(**spec_fields)] = table_payload
+
+
+def workload_preload_payloads(specs) -> list[tuple[dict, dict]]:
+    """Build :func:`preload_workload_tables` input for distinct ``specs``."""
+    out = []
+    for spec in dict.fromkeys(specs):
+        out.append((asdict(spec), make_workload_table(spec).to_payload()))
+    return out
+
 
 def cached_workload(spec: WorkloadSpec) -> Workload:
     """Memoized :func:`make_workload`, bounded by an LRU of
-    :data:`WORKLOAD_CACHE_LIMIT` entries."""
+    :data:`WORKLOAD_CACHE_LIMIT` entries.  Preloaded tables (shipped by
+    the executor's worker initializer) are consulted before building."""
     workload = _workload_cache.get(spec)
     if workload is None:
-        workload = make_workload(spec)
+        payload = _preloaded_tables.pop(spec, None)
+        if payload is not None:
+            workload = JobTable.from_payload(payload).to_workload()
+        else:
+            workload = make_workload(spec)
         _workload_cache[spec] = workload
         while len(_workload_cache) > WORKLOAD_CACHE_LIMIT:
             _workload_cache.popitem(last=False)
@@ -227,4 +333,6 @@ def clear_cache() -> None:
     from repro.exec import default_store
 
     _workload_cache.clear()
+    _base_table_cache.clear()
+    _preloaded_tables.clear()
     default_store().clear_memory()

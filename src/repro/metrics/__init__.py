@@ -12,11 +12,21 @@ from repro.metrics.categories import (
     EstimateQuality,
     categorize,
     estimate_quality,
+    category_masks,
+    quality_masks,
     SHORT_LONG_BOUNDARY_SECONDS,
     NARROW_WIDE_BOUNDARY_PROCS,
     WELL_ESTIMATED_MAX_FACTOR,
 )
-from repro.metrics.collector import CompletedJob, RunMetrics, summarize
+from repro.metrics.collector import (
+    CompletedJob,
+    RunMetrics,
+    reference_summarize,
+    summarize,
+    summarize_columns,
+    summarize_legacy,
+    summarize_rows,
+)
 
 __all__ = [
     "BOUNDED_SLOWDOWN_THRESHOLD",
@@ -31,7 +41,13 @@ __all__ = [
     "SHORT_LONG_BOUNDARY_SECONDS",
     "NARROW_WIDE_BOUNDARY_PROCS",
     "WELL_ESTIMATED_MAX_FACTOR",
+    "category_masks",
+    "quality_masks",
     "CompletedJob",
     "RunMetrics",
     "summarize",
+    "summarize_rows",
+    "summarize_columns",
+    "summarize_legacy",
+    "reference_summarize",
 ]

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from enum import Enum
 
+import numpy as np
+
 from repro.workload.job import Job
 
 __all__ = [
@@ -24,6 +26,8 @@ __all__ = [
     "EstimateQuality",
     "categorize",
     "estimate_quality",
+    "category_masks",
+    "quality_masks",
     "category_counts",
 ]
 
@@ -84,6 +88,43 @@ def estimate_quality(
     if job.estimate <= max_factor * job.runtime:
         return EstimateQuality.WELL
     return EstimateQuality.POOR
+
+
+def category_masks(
+    runtimes: np.ndarray,
+    procs: np.ndarray,
+    *,
+    runtime_boundary: float = SHORT_LONG_BOUNDARY_SECONDS,
+    width_boundary: int = NARROW_WIDE_BOUNDARY_PROCS,
+) -> dict[Category, np.ndarray]:
+    """Vectorized :func:`categorize`: one boolean mask per shape category.
+
+    Element ``i`` of the ``Category.SN`` mask is true iff
+    ``categorize(job_i)`` is ``SN``, etc.  Masks are disjoint and cover
+    every element.
+    """
+    short = np.asarray(runtimes) <= runtime_boundary
+    narrow = np.asarray(procs) <= width_boundary
+    return {
+        Category.SN: short & narrow,
+        Category.SW: short & ~narrow,
+        Category.LN: ~short & narrow,
+        Category.LW: ~short & ~narrow,
+    }
+
+
+def quality_masks(
+    estimates: np.ndarray,
+    runtimes: np.ndarray,
+    *,
+    max_factor: float = WELL_ESTIMATED_MAX_FACTOR,
+) -> dict[EstimateQuality, np.ndarray]:
+    """Vectorized :func:`estimate_quality`: well/poor masks over columns."""
+    well = np.asarray(estimates) <= max_factor * np.asarray(runtimes)
+    return {
+        EstimateQuality.WELL: well,
+        EstimateQuality.POOR: ~well,
+    }
 
 
 def category_counts(jobs) -> dict[Category, int]:

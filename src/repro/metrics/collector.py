@@ -5,24 +5,54 @@ rolls a set of them into a :class:`RunMetrics` with the aggregates the paper
 reports: average bounded slowdown, average turnaround time, and worst-case
 turnaround time — overall, per shape category, and per estimate-quality
 class.
+
+Two implementations produce float-identical results:
+
+* :func:`summarize_columns` (the default behind :func:`summarize`) pulls
+  the record fields into numpy arrays once, computes every per-job metric
+  and the category/quality masks with array operations, and aggregates
+  each group with the same sequential summation the row path uses;
+* :func:`summarize_rows` is the original record-at-a-time reference that
+  the differential suite compares against; :func:`reference_summarize`
+  forces it for a ``with`` block (the engines bind ``summarize`` at import
+  time, so the toggle lives inside the dispatcher).
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.metrics.categories import (
     Category,
     EstimateQuality,
     categorize,
+    category_masks,
     estimate_quality,
+    quality_masks,
 )
-from repro.metrics.defs import bounded_slowdown, turnaround_time, wait_time
+from repro.metrics.defs import (
+    BOUNDED_SLOWDOWN_THRESHOLD,
+    bounded_slowdown,
+    turnaround_time,
+    wait_time,
+)
 from repro.workload.job import Job
 
-__all__ = ["CompletedJob", "MetricSummary", "RunMetrics", "summarize"]
+__all__ = [
+    "CompletedJob",
+    "MetricSummary",
+    "RunMetrics",
+    "summarize",
+    "summarize_rows",
+    "summarize_columns",
+    "summarize_legacy",
+    "reference_summarize",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,12 +114,29 @@ class MetricSummary:
 
     @classmethod
     def of(cls, records: list[CompletedJob]) -> "MetricSummary":
-        if not records:
-            return cls.empty()
         slowdowns = [r.bounded_slowdown for r in records]
         turnarounds = [r.turnaround for r in records]
         waits = [r.wait for r in records]
-        n = len(records)
+        return cls.from_values(slowdowns, turnarounds, waits)
+
+    @classmethod
+    def from_values(
+        cls,
+        slowdowns: list[float],
+        turnarounds: list[float],
+        waits: list[float],
+    ) -> "MetricSummary":
+        """Aggregate pre-computed per-job metric values.
+
+        This is the single aggregation point for both summarize paths, so
+        each record's metric chain is computed once per run and then reused
+        across the overall / per-category / per-quality groups.  Sums are
+        sequential (Python ``sum``) in record order in both paths, keeping
+        the means bit-identical between them.
+        """
+        if not slowdowns:
+            return cls.empty()
+        n = len(slowdowns)
         return cls(
             count=n,
             mean_bounded_slowdown=sum(slowdowns) / n,
@@ -118,10 +165,19 @@ class RunMetrics:
         return self.by_estimate_quality[EstimateQuality(quality)]
 
     def record_for(self, job_id: int) -> CompletedJob:
-        for record in self.records:
-            if record.job.job_id == job_id:
-                return record
-        raise KeyError(f"no completed record for job {job_id}")
+        # Lazy job-id index: the first lookup builds a dict so sweeps that
+        # probe many jobs pay O(n) once instead of an O(n) scan per call.
+        # First-match-wins, like the scan this replaces.
+        index = self.__dict__.get("_job_index")
+        if index is None:
+            index = {}
+            for record in self.records:
+                index.setdefault(record.job.job_id, record)
+            object.__setattr__(self, "_job_index", index)
+        try:
+            return index[job_id]
+        except KeyError:
+            raise KeyError(f"no completed record for job {job_id}") from None
 
 
 def trim_warmup(
@@ -154,13 +210,123 @@ def trim_warmup(
     return ordered[lo:hi]
 
 
-def summarize(
+def summarize_rows(
     records: list[CompletedJob] | tuple[CompletedJob, ...],
     *,
     utilization: float = math.nan,
     makespan: float | None = None,
 ) -> RunMetrics:
-    """Aggregate completed-job records into a :class:`RunMetrics`."""
+    """Record-at-a-time :func:`summarize` (the reference implementation).
+
+    Each record's metric chain (wait / turnaround / bounded slowdown) is
+    evaluated exactly once, then the values are regrouped for the overall,
+    per-category and per-quality summaries.
+    """
+    records = tuple(records)
+    slowdowns = [r.bounded_slowdown for r in records]
+    turnarounds = [r.turnaround for r in records]
+    waits = [r.wait for r in records]
+    by_category: dict[Category, list[int]] = {c: [] for c in Category}
+    by_quality: dict[EstimateQuality, list[int]] = {q: [] for q in EstimateQuality}
+    for i, record in enumerate(records):
+        by_category[record.category].append(i)
+        by_quality[record.estimate_quality].append(i)
+
+    def _group(indices: list[int]) -> MetricSummary:
+        return MetricSummary.from_values(
+            [slowdowns[i] for i in indices],
+            [turnarounds[i] for i in indices],
+            [waits[i] for i in indices],
+        )
+
+    span = 0.0
+    if records:
+        span = max(r.finish_time for r in records) - min(
+            r.job.submit_time for r in records
+        )
+    return RunMetrics(
+        overall=MetricSummary.from_values(slowdowns, turnarounds, waits),
+        by_category={c: _group(v) for c, v in by_category.items()},
+        by_estimate_quality={q: _group(v) for q, v in by_quality.items()},
+        utilization=utilization,
+        makespan=makespan if makespan is not None else span,
+        records=records,
+    )
+
+
+def summarize_columns(
+    records: list[CompletedJob] | tuple[CompletedJob, ...],
+    *,
+    utilization: float = math.nan,
+    makespan: float | None = None,
+) -> RunMetrics:
+    """Vectorized :func:`summarize`: one numpy pass over the record fields.
+
+    Float-identical to :func:`summarize_rows`: the per-job metrics are the
+    same elementwise IEEE operations, the category/quality masks preserve
+    record order, and group aggregation goes through the same sequential
+    ``sum`` (numpy's pairwise ``np.sum`` would round differently).
+    """
+    records = tuple(records)
+    n = len(records)
+    if n == 0:
+        return summarize_rows(
+            records, utilization=utilization, makespan=makespan
+        )
+    submit = np.fromiter((r.job.submit_time for r in records), np.float64, count=n)
+    start = np.fromiter((r.start_time for r in records), np.float64, count=n)
+    finish = np.fromiter((r.finish_time for r in records), np.float64, count=n)
+    runtime = np.fromiter((r.job.runtime for r in records), np.float64, count=n)
+    estimate = np.fromiter((r.job.estimate for r in records), np.float64, count=n)
+    procs = np.fromiter((r.job.procs for r in records), np.int64, count=n)
+
+    waits = np.maximum(start - submit, 0.0)
+    turnarounds = np.maximum(finish - submit, 0.0)
+    elapsed = np.maximum(finish - start, 0.0)
+    denom = np.maximum(elapsed, BOUNDED_SLOWDOWN_THRESHOLD)
+    slowdowns = (waits + denom) / denom
+
+    def _group(mask: np.ndarray) -> MetricSummary:
+        return MetricSummary.from_values(
+            slowdowns[mask].tolist(),
+            turnarounds[mask].tolist(),
+            waits[mask].tolist(),
+        )
+
+    span = float(finish.max()) - float(submit.min())
+    return RunMetrics(
+        overall=MetricSummary.from_values(
+            slowdowns.tolist(), turnarounds.tolist(), waits.tolist()
+        ),
+        by_category={
+            c: _group(mask) for c, mask in category_masks(runtime, procs).items()
+        },
+        by_estimate_quality={
+            q: _group(mask) for q, mask in quality_masks(estimate, runtime).items()
+        },
+        utilization=utilization,
+        makespan=makespan if makespan is not None else span,
+        records=records,
+    )
+
+
+def summarize_legacy(
+    records: list[CompletedJob] | tuple[CompletedJob, ...],
+    *,
+    utilization: float = math.nan,
+    makespan: float | None = None,
+) -> RunMetrics:
+    """The pre-columnar ``summarize``, kept verbatim as a benchmark baseline.
+
+    Groups the records and calls :meth:`MetricSummary.of` once per group,
+    so every record's bounded slowdown, turnaround, and wait properties
+    are recomputed in each of the three groupings it belongs to (overall,
+    shape category, estimate quality).  :func:`summarize_rows` is this
+    algorithm with the recomputation fixed; the differential suite pins
+    all three engines to identical output, and ``benchmarks/bench_sweep.py``
+    uses this one so its row leg carries the faithful pre-PR aggregation
+    cost rather than silently borrowing the fix.
+    """
     records = tuple(records)
     by_category: dict[Category, list[CompletedJob]] = {c: [] for c in Category}
     by_quality: dict[EstimateQuality, list[CompletedJob]] = {
@@ -183,3 +349,51 @@ def summarize(
         makespan=makespan if makespan is not None else span,
         records=records,
     )
+
+
+_SUMMARIZE_ENGINE = "columnar"
+
+_REFERENCE_ENGINES = ("rows", "legacy")
+
+
+def summarize(
+    records: list[CompletedJob] | tuple[CompletedJob, ...],
+    *,
+    utilization: float = math.nan,
+    makespan: float | None = None,
+) -> RunMetrics:
+    """Aggregate completed-job records into a :class:`RunMetrics`.
+
+    Dispatches to the vectorized :func:`summarize_columns` unless
+    :func:`reference_summarize` is active; all paths are float-identical.
+    """
+    if _SUMMARIZE_ENGINE == "rows":
+        return summarize_rows(records, utilization=utilization, makespan=makespan)
+    if _SUMMARIZE_ENGINE == "legacy":
+        return summarize_legacy(records, utilization=utilization, makespan=makespan)
+    return summarize_columns(records, utilization=utilization, makespan=makespan)
+
+
+@contextmanager
+def reference_summarize(engine: str = "rows"):
+    """Force a reference ``summarize`` implementation within a block.
+
+    ``engine`` is ``"rows"`` (the record-at-a-time reference) or
+    ``"legacy"`` (the verbatim pre-columnar implementation,
+    :func:`summarize_legacy`).  The simulation engines bind ``summarize``
+    once at import, so the benchmark's row leg and the differential tests
+    switch paths with this toggle instead of monkeypatching every engine
+    module.
+    """
+    if engine not in _REFERENCE_ENGINES:
+        raise ValueError(
+            f"unknown reference summarize engine {engine!r}; "
+            f"expected one of {_REFERENCE_ENGINES}"
+        )
+    global _SUMMARIZE_ENGINE
+    previous = _SUMMARIZE_ENGINE
+    _SUMMARIZE_ENGINE = engine
+    try:
+        yield
+    finally:
+        _SUMMARIZE_ENGINE = previous

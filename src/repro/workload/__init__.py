@@ -8,7 +8,8 @@ characteristics of those traces so the experiments are reproducible offline.
 """
 
 from repro.workload.job import Job, Workload
-from repro.workload.swf import read_swf, write_swf, SWFHeader
+from repro.workload.table import JobTable
+from repro.workload.swf import read_swf, read_swf_table, write_swf, SWFHeader
 from repro.workload.estimates import (
     EstimateModel,
     ExactEstimate,
@@ -33,7 +34,9 @@ from repro.workload.stats import characterize, characterization_table
 __all__ = [
     "Job",
     "Workload",
+    "JobTable",
     "read_swf",
+    "read_swf_table",
     "write_swf",
     "SWFHeader",
     "EstimateModel",

@@ -69,6 +69,24 @@ def round_up_to_limit(seconds: float, limits: tuple[float, ...] = ROUND_LIMITS) 
     return math.ceil(seconds / 3600.0) * 3600.0
 
 
+def _round_up_to_limit_column(
+    seconds: np.ndarray, limits: tuple[float, ...] = ROUND_LIMITS
+) -> np.ndarray:
+    """Vectorized :func:`round_up_to_limit` (bit-identical per element)."""
+    limit_arr = np.asarray(limits, dtype=np.float64)
+    # side="left" lands exact-limit values on that limit, matching the
+    # scalar path's ``seconds <= limit`` scan.
+    idx = np.searchsorted(limit_arr, seconds, side="left")
+    out = limit_arr[np.minimum(idx, len(limit_arr) - 1)]
+    beyond = idx >= len(limit_arr)
+    if np.any(beyond):
+        out = out.copy()
+        # math.ceil and np.ceil agree on every float64 in range; the scalar
+        # path's int result times 3600.0 is the same double.
+        out[beyond] = np.ceil(seconds[beyond] / 3600.0) * 3600.0
+    return out
+
+
 class EstimateModel(ABC):
     """Maps a job's actual runtime to the estimate the scheduler will see."""
 
@@ -81,6 +99,23 @@ class EstimateModel(ABC):
         """Return a copy of ``job`` with this model's estimate attached."""
         return job.with_estimate(self.estimate_for(job, rng))
 
+    def column_estimates(
+        self, runtimes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Estimates for a whole runtime column at once.
+
+        Contract: bit-identical to calling :meth:`estimate_for` per row in
+        order with the same generator — including consuming the generator
+        stream in exactly the scalar layout, so the scalar and columnar
+        transform paths stay interchangeable mid-stream.  The built-in
+        models all implement it; custom models that only define
+        :meth:`estimate_for` raise ``NotImplementedError`` here and the
+        columnar transforms fall back to the row path for them.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support columnar estimates"
+        )
+
 
 @dataclass(frozen=True)
 class ExactEstimate(EstimateModel):
@@ -88,6 +123,11 @@ class ExactEstimate(EstimateModel):
 
     def estimate_for(self, job: Job, rng: np.random.Generator) -> float:
         return job.runtime
+
+    def column_estimates(
+        self, runtimes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.array(runtimes, dtype=np.float64, copy=True)
 
 
 @dataclass(frozen=True)
@@ -108,6 +148,11 @@ class MultiplicativeEstimate(EstimateModel):
 
     def estimate_for(self, job: Job, rng: np.random.Generator) -> float:
         return job.runtime * self.factor
+
+    def column_estimates(
+        self, runtimes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.asarray(runtimes, dtype=np.float64) * self.factor
 
 
 @dataclass(frozen=True)
@@ -156,6 +201,38 @@ class UserEstimateModel(EstimateModel):
             estimate = max(round_up_to_limit(estimate), job.runtime)
         return estimate
 
+    def column_estimates(
+        self, runtimes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        runtimes = np.asarray(runtimes, dtype=np.float64)
+        n = len(runtimes)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        # The scalar path consumes exactly two doubles per job — one
+        # ``rng.random()`` then one ``rng.uniform(lo, hi)`` (which is
+        # ``lo + (hi - lo) * next_double``) — regardless of the branch
+        # taken.  Drawing 2n doubles in one call and de-interleaving
+        # reproduces that stream bit for bit.
+        draws = rng.random(size=2 * n)
+        branch = draws[0::2]
+        base = draws[1::2]
+        well = branch < self.well_fraction
+        factors = np.where(well, 1.0 + (2.0 - 1.0) * base, 0.0)
+        poor = ~well
+        if np.any(poor):
+            log_lo, log_hi = math.log(2.0), math.log(self.max_factor)
+            args = log_lo + (log_hi - log_lo) * base[poor]
+            # math.exp, not np.exp: numpy's SIMD exp differs from libm by
+            # an ULP on ~5% of inputs, which would break bit-equivalence
+            # with the scalar path.
+            factors[poor] = np.fromiter(
+                (math.exp(a) for a in args), dtype=np.float64, count=len(args)
+            )
+        estimates = runtimes * factors
+        if self.round_to_limits:
+            estimates = np.maximum(_round_up_to_limit_column(estimates), runtimes)
+        return estimates
+
 
 @dataclass(frozen=True)
 class ClampedEstimate(EstimateModel):
@@ -179,3 +256,10 @@ class ClampedEstimate(EstimateModel):
     def estimate_for(self, job: Job, rng: np.random.Generator) -> float:
         raw = self.inner.estimate_for(job, rng)
         return max(job.runtime, min(raw, self.max_estimate))
+
+    def column_estimates(
+        self, runtimes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        runtimes = np.asarray(runtimes, dtype=np.float64)
+        raw = self.inner.column_estimates(runtimes, rng)
+        return np.maximum(runtimes, np.minimum(raw, self.max_estimate))

@@ -11,6 +11,13 @@ These are the pre-processing steps the paper applies to its traces:
   removal, subsetting, id normalization).
 
 All transforms are pure: they return new :class:`Workload` objects.
+
+:func:`scale_load`, :func:`apply_estimates` and :func:`truncate` also
+accept a columnar :class:`~repro.workload.table.JobTable` (returning a
+``JobTable``): the columnar form computes the same transform with array
+operations and is float-identical to the row path — that is the fast
+sweep pipeline, which derives many (load, estimate) conditions from one
+base table without rebuilding ``Job`` objects per step.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.workload.estimates import EstimateModel
 from repro.workload.job import Job, Workload
+from repro.workload.table import JobTable
 
 __all__ = [
     "scale_load",
@@ -45,6 +53,8 @@ def scale_load(workload: Workload, factor: float, *, name: str | None = None) ->
     content is identical — only the arrival pressure changes.  This is the
     paper's high-load transformation.
     """
+    if isinstance(workload, JobTable):
+        return workload.scale_load(factor, name=name)
     if factor <= 0:
         raise ConfigurationError(f"load scale factor must be > 0, got {factor}")
     if len(workload) == 0:
@@ -76,7 +86,19 @@ def apply_estimates(
 
     ``seed`` may be an integer (a fresh generator is created, making the
     transform reproducible) or an existing :class:`numpy.random.Generator`.
+
+    A :class:`JobTable` input takes the columnar path when the model
+    supports it (all built-in models do) and falls back to this row path
+    — returning a table again — for custom row-only models.
     """
+    if isinstance(workload, JobTable):
+        try:
+            return workload.apply_estimates(model, seed=seed, name=name)
+        except NotImplementedError:
+            rows = apply_estimates(
+                workload.to_workload(), model, seed=seed, name=name
+            )
+            return JobTable.from_workload(rows)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     jobs = tuple(model.apply(job, rng) for job in workload.jobs)
     meta = dict(workload.metadata)
@@ -97,6 +119,8 @@ def truncate(
     name: str | None = None,
 ) -> Workload:
     """Drop the first ``skip`` jobs, then keep at most ``max_jobs`` jobs."""
+    if isinstance(workload, JobTable):
+        return workload.truncate(max_jobs=max_jobs, skip=skip, name=name)
     if skip < 0:
         raise ConfigurationError(f"skip must be >= 0, got {skip}")
     if max_jobs is not None and max_jobs < 0:

@@ -1,0 +1,139 @@
+"""Chunked dispatch, worker preload plumbing, and report timing."""
+
+import pytest
+
+from repro.exec import Cell, CellExecutor, ExecutionReport, ResultStore
+from repro.exec.executor import MAX_AUTO_CHUNK, simulate_chunk
+from repro.experiments.config import WorkloadSpec
+from repro.experiments.runner import (
+    cached_workload,
+    clear_cache,
+    make_workload,
+    preload_workload_tables,
+    workload_preload_payloads,
+)
+
+
+def _cells(n, n_jobs=60):
+    out = []
+    for seed in range(1, n + 1):
+        spec = WorkloadSpec("CTC", n_jobs, seed, 0.75, "exact")
+        out.append(Cell(spec, "easy", "FCFS"))
+    return out
+
+
+class TestChunking:
+    def test_auto_singletons_for_small_batches(self):
+        executor = CellExecutor(max_workers=4, store=ResultStore())
+        chunks = executor._chunked(_cells(8))
+        assert all(len(c) == 1 for c in chunks)
+
+    def test_auto_chunks_for_large_batches(self):
+        executor = CellExecutor(max_workers=2, store=ResultStore())
+        cells = _cells(64)
+        chunks = executor._chunked(cells)
+        sizes = {len(c) for c in chunks}
+        assert max(sizes) == 64 // (4 * 2)
+        assert [cell for chunk in chunks for cell in chunk] == cells
+
+    def test_auto_chunk_capped(self):
+        executor = CellExecutor(max_workers=1, store=ResultStore())
+        chunks = executor._chunked(_cells(200))
+        assert max(len(c) for c in chunks) == MAX_AUTO_CHUNK
+
+    def test_explicit_chunk_size_respected(self):
+        executor = CellExecutor(max_workers=2, store=ResultStore(), chunk_size=5)
+        cells = _cells(12)
+        chunks = executor._chunked(cells)
+        assert [len(c) for c in chunks] == [5, 5, 2]
+        assert [cell for chunk in chunks for cell in chunk] == cells
+
+    def test_custom_pool_factory_forces_singletons(self):
+        executor = CellExecutor(
+            max_workers=2,
+            store=ResultStore(),
+            chunk_size=5,
+            pool_factory=lambda workers: None,
+        )
+        assert all(len(c) == 1 for c in executor._chunked(_cells(12)))
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            CellExecutor(chunk_size=0)
+
+    def test_simulate_chunk_matches_per_cell(self):
+        from repro.exec import metrics_digest, simulate_cell
+
+        cells = _cells(2)
+        chunk_results = simulate_chunk(tuple(cells))
+        for cell, stored in zip(cells, chunk_results):
+            assert metrics_digest(stored.metrics) == metrics_digest(
+                simulate_cell(cell).metrics
+            )
+
+
+class TestWorkerPreload:
+    def test_payloads_cover_distinct_specs_once(self):
+        cells = _cells(3) + _cells(3)
+        payloads = workload_preload_payloads(c.spec for c in cells)
+        assert len(payloads) == 3
+        assert {fields["seed"] for fields, _ in payloads} == {1, 2, 3}
+
+    def test_preloaded_table_answers_cached_workload(self):
+        spec = WorkloadSpec("CTC", 60, 9, 0.75, "user")
+        payloads = workload_preload_payloads([spec])
+        want = make_workload(spec)
+        clear_cache()
+        preload_workload_tables(payloads)
+        got = cached_workload(spec)
+        assert got.jobs == want.jobs
+        assert got.metadata == want.metadata
+        clear_cache()
+
+    def test_unrelated_spec_ignores_preload(self):
+        spec = WorkloadSpec("CTC", 60, 9, 0.75, "user")
+        other = WorkloadSpec("CTC", 60, 10, 0.75, "user")
+        clear_cache()
+        preload_workload_tables(workload_preload_payloads([spec]))
+        got = cached_workload(other)
+        assert got.jobs == make_workload(other).jobs
+        clear_cache()
+
+
+class TestReportTiming:
+    def test_events_per_second_uses_sim_elapsed(self):
+        report = ExecutionReport(
+            events_processed=100, elapsed_seconds=10.0, sim_elapsed_seconds=2.0
+        )
+        assert report.events_per_second == 50.0
+
+    def test_events_per_second_zero_when_nothing_simulated(self):
+        report = ExecutionReport(elapsed_seconds=5.0)
+        assert report.events_per_second == 0.0
+
+    def test_absorb_accumulates_sim_elapsed(self):
+        total = ExecutionReport(sim_elapsed_seconds=1.0)
+        total.absorb(ExecutionReport(sim_elapsed_seconds=2.5))
+        assert total.sim_elapsed_seconds == 3.5
+
+    def test_cached_batch_accrues_no_sim_elapsed(self):
+        cells = _cells(2)
+        executor = CellExecutor(store=ResultStore())
+        executor.execute(cells)
+        first = executor.last_report
+        assert 0.0 < first.sim_elapsed_seconds <= first.elapsed_seconds
+        executor.execute(cells)  # fully cached now
+        second = executor.last_report
+        assert second.sim_elapsed_seconds == 0.0
+        assert second.events_per_second == 0.0
+        assert second.elapsed_seconds > 0.0
+
+    def test_mixed_batch_sim_elapsed_bounded_by_elapsed(self):
+        warm = _cells(1)
+        executor = CellExecutor(store=ResultStore())
+        executor.execute(warm)
+        executor.execute(_cells(3))  # one warm, two fresh
+        report = executor.last_report
+        assert report.cache_hits == 1
+        assert report.simulated == 2
+        assert 0.0 < report.sim_elapsed_seconds <= report.elapsed_seconds

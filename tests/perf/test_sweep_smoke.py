@@ -1,0 +1,45 @@
+"""Perf smoke test: the columnar sweep pipeline must outrun the row leg.
+
+Runs a one-seed slice of the ``benchmarks/bench_sweep.py`` grid through
+both pipeline legs and asserts the columnar leg wins with a deliberately
+*generous* margin — far below the ~3x the full benchmark measures, so
+only a lost optimization (e.g. the base-table memo or a vectorized
+transform quietly falling back to rows) trips it, not CI jitter or a
+slow runner.  Real numbers belong to ``benchmarks/bench_sweep.py`` +
+``benchmarks/compare_bench.py``; this is just the tripwire that runs on
+every push (``-m perf``).
+"""
+
+import pytest
+
+from repro.experiments.config import WorkloadSpec
+
+from benchmarks.bench_sweep import (
+    TRACE,
+    _time_leg,
+    run_columnar_serial,
+    run_pre_pr_serial,
+)
+
+#: The full benchmark shows ~3x; require only that columnar is faster at
+#: all, so a noisy runner cannot produce a false alarm.
+MIN_SPEEDUP = 1.0
+
+
+@pytest.mark.perf
+def test_columnar_sweep_leg_beats_row_leg():
+    conditions = [
+        (WorkloadSpec(TRACE, 500, 1, load, estimate), horizon)
+        for load in (0.9, 1.2)
+        for estimate in ("r2", "user")
+        for horizon in (300, 500)
+    ]
+    pre_seconds, pre_events = _time_leg(run_pre_pr_serial, conditions)
+    col_seconds, col_events = _time_leg(run_columnar_serial, conditions)
+    assert pre_events == col_events
+    assert pre_seconds > col_seconds * MIN_SPEEDUP, (
+        f"columnar sweep leg no longer beats the row leg: "
+        f"{pre_seconds:.3f}s rows vs {col_seconds:.3f}s columnar; run "
+        "benchmarks/bench_sweep.py and compare against the checked-in "
+        "BENCH_sweep.json"
+    )

@@ -1,0 +1,167 @@
+"""SWF quirk parity: the vectorized reader against the row reference.
+
+Every real-archive quirk the row reader tolerates — missing trailing
+fields, ``-1`` placeholders, unsorted submit times, skipped failed jobs,
+over-wide jobs clamped against the machine, ``max_jobs`` truncation —
+must parse identically through ``engine="columnar"`` and
+``read_swf_table``, including skip counts, header metadata, and error
+messages on malformed lines.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import SWFFormatError
+from repro.workload.job import Job, Workload
+from repro.workload.swf import read_swf, read_swf_table, write_swf
+from repro.workload.table import JobTable
+
+QUIRKY = """\
+; MaxProcs: 128
+; UnixStartTime: 0
+; Note: synthetic quirk fixture
+1 100 -1 300 16 -1 -1 16 600 -1 1 3 2 7 1 0 -1 -1
+2 50 -1 200 -1 -1 -1 8 -1 -1 1 4 2 7 1 0 -1 -1
+3 120 -1 0 4 -1 -1 4 100 -1 0 5 2 7 1 0 -1 -1
+4 -5 -1 100 4 -1 -1 4 100 -1 1 5 2 7 1 0 -1 -1
+5 130 -1 100 4 -1 -1 -1 100 -1 1 5 2 7 1 0 -1 -1
+6 140 -1 100 200 -1 -1 200 100 -1 1 5 2 7 1 0 -1 -1
+7 90 -1 50 2 -1 -1 2 75
+8 95 -1 60 1
+
+-9 100 -1 50 2 -1 -1 2 75 -1 1 1 1 1 1 1 -1 -1
+10 85.5 -1 33.25 3 12.5 1000 3 40 2000 1 9 8 7 6 5 4 3.5
+"""
+
+
+def _rows(text, **kw):
+    return read_swf(io.StringIO(text), engine="rows", name="q", **kw)
+
+
+def _cols(text, **kw):
+    return read_swf(io.StringIO(text), engine="columnar", name="q", **kw)
+
+
+def _table(text, **kw):
+    return read_swf_table(io.StringIO(text), name="q", **kw)
+
+
+def _assert_same(a: Workload, b: Workload):
+    assert a.jobs == b.jobs
+    assert a.max_procs == b.max_procs
+    assert a.name == b.name
+    assert a.metadata == b.metadata
+
+
+class TestQuirkParity:
+    def test_quirky_fixture_identical(self):
+        rows = _rows(QUIRKY)
+        _assert_same(rows, _cols(QUIRKY))
+        _assert_same(rows, _table(QUIRKY).to_workload())
+        # The fixture's quirks all landed: 4 unusable/clamped lines
+        # (zero runtime, negative submit, negative id, over-wide) and
+        # unsorted submits re-sorted.
+        assert rows.metadata["skipped"] == 4
+        submits = [j.submit_time for j in rows.jobs]
+        assert submits == sorted(submits)
+
+    def test_missing_trailing_fields_padded(self):
+        rows = _rows(QUIRKY)
+        short_line_job = next(j for j in rows.jobs if j.job_id == 8)
+        # Fields beyond the 5 given ones default like explicit -1s,
+        # except estimate, which falls back to the runtime.
+        assert short_line_job.estimate == short_line_job.runtime
+        assert short_line_job.user_id == -1
+        assert short_line_job.think_time == -1.0
+
+    def test_placeholder_minus_one_procs_fall_back_to_allocated(self):
+        rows = _rows(QUIRKY)
+        job5 = next(j for j in rows.jobs if j.job_id == 5)
+        assert job5.procs == 4  # requested was -1, allocated 4
+
+    @pytest.mark.parametrize("max_jobs", [0, 1, 2, 3, 5, 100])
+    def test_max_jobs_truncation_parity(self, max_jobs):
+        rows = _rows(QUIRKY, max_jobs=max_jobs)
+        _assert_same(rows, _cols(QUIRKY, max_jobs=max_jobs))
+        _assert_same(rows, _table(QUIRKY, max_jobs=max_jobs).to_workload())
+
+    def test_max_procs_override_parity(self):
+        rows = _rows(QUIRKY, max_procs=8)
+        _assert_same(rows, _cols(QUIRKY, max_procs=8))
+        _assert_same(rows, _table(QUIRKY, max_procs=8).to_workload())
+
+    def test_inferred_machine_size_parity(self):
+        no_header = "\n".join(
+            line for line in QUIRKY.splitlines() if not line.startswith(";")
+        )
+        rows = _rows(no_header)
+        _assert_same(rows, _cols(no_header))
+        _assert_same(rows, _table(no_header).to_workload())
+
+
+class TestWriteReadRoundTrip:
+    def test_round_trip_through_write_swf(self):
+        rows = _rows(QUIRKY)
+        buffer = io.StringIO()
+        write_swf(rows, buffer)
+        text = buffer.getvalue()
+        again_rows = _rows(text)
+        again_cols = _cols(text)
+        again_table = _table(text).to_workload()
+        _assert_same(again_rows, again_cols)
+        _assert_same(again_rows, again_table)
+        assert [j.job_id for j in again_rows.jobs] == [j.job_id for j in rows.jobs]
+
+
+class TestErrorParity:
+    TOO_MANY = "; MaxProcs: 4\n1 1 -1 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1 99\n"
+    NON_NUMERIC = (
+        "; MaxProcs: 4\n"
+        "1 1 -1 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1\n"
+        "2 xx -1 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1\n"
+    )
+
+    @pytest.mark.parametrize("bad", [TOO_MANY, NON_NUMERIC])
+    def test_identical_error_messages(self, bad):
+        with pytest.raises(SWFFormatError) as rows_err:
+            _rows(bad)
+        with pytest.raises(SWFFormatError) as cols_err:
+            _cols(bad)
+        with pytest.raises(SWFFormatError) as table_err:
+            _table(bad)
+        assert str(cols_err.value) == str(rows_err.value)
+        assert str(table_err.value) == str(rows_err.value)
+
+    def test_error_hidden_behind_max_jobs_cutoff(self):
+        # The row reader stops before reaching the bad line; the
+        # columnar engines must too.
+        rows = _rows(self.NON_NUMERIC, max_jobs=1)
+        _assert_same(rows, _cols(self.NON_NUMERIC, max_jobs=1))
+        _assert_same(rows, _table(self.NON_NUMERIC, max_jobs=1).to_workload())
+
+    def test_no_maxprocs_and_no_jobs(self):
+        empty = "; Note: nothing here\n"
+        for parse in (_rows, _cols, _table):
+            with pytest.raises(SWFFormatError, match="no MaxProcs header"):
+                parse(empty)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SWFFormatError, match="unknown SWF engine"):
+            read_swf(io.StringIO(QUIRKY), engine="bogus")
+
+
+class TestTableShape:
+    def test_dtypes_and_metadata(self):
+        table = _table(QUIRKY)
+        assert isinstance(table, JobTable)
+        assert table.job_id.dtype == np.int64
+        assert table.procs.dtype == np.int64
+        assert table.submit_time.dtype == np.float64
+        assert table.metadata["swf_header"]["MaxProcs"] == "128"
+        assert table.metadata["skipped"] == 4
+        assert table.max_procs == 128
+        # Sorted by (submit, id), like Workload.from_jobs.
+        key = list(zip(table.submit_time.tolist(), table.job_id.tolist()))
+        assert key == sorted(key)

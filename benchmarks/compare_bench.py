@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -25,21 +26,48 @@ DEFAULT_THRESHOLD = 0.30
 
 
 def throughput_leaves(payload, prefix=""):
-    """Flatten to {dotted.path: value} for *events_per_second keys."""
+    """Flatten to {dotted.path: value} for *events_per_second keys.
+
+    Null and NaN leaves (a skipped parallel leg writes ``None``) are
+    treated as absent rather than crashing the comparison.
+    """
     leaves = {}
     if isinstance(payload, dict):
         for key, value in payload.items():
             path = f"{prefix}.{key}" if prefix else str(key)
             if isinstance(value, (dict, list)):
                 leaves.update(throughput_leaves(value, path))
-            elif isinstance(value, (int, float)) and str(key).endswith(
-                "events_per_second"
+            elif (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and not math.isnan(value)
+                and str(key).endswith("events_per_second")
             ):
                 leaves[path] = float(value)
     elif isinstance(payload, list):
         for index, value in enumerate(payload):
             leaves.update(throughput_leaves(value, f"{prefix}[{index}]"))
     return leaves
+
+
+def schema_warnings(old: dict, new: dict) -> list[str]:
+    """Non-fatal drift between two payloads' shapes.
+
+    Schema-version bumps and added/removed top-level fields are expected
+    when a bench evolves; the gate should keep comparing whatever
+    throughput keys both files still share, and merely say what drifted.
+    """
+    warnings = []
+    old_schema, new_schema = old.get("schema"), new.get("schema")
+    if old_schema != new_schema:
+        warnings.append(f"schema version differs: {old_schema!r} -> {new_schema!r}")
+    removed = sorted(set(old) - set(new))
+    added = sorted(set(new) - set(old))
+    if removed:
+        warnings.append(f"fields only in baseline: {', '.join(removed)}")
+    if added:
+        warnings.append(f"fields only in candidate: {', '.join(added)}")
+    return warnings
 
 
 def compare(old: dict, new: dict, threshold: float) -> list[str]:
@@ -81,6 +109,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     old = json.loads(args.old.read_text(encoding="utf-8"))
     new = json.loads(args.new.read_text(encoding="utf-8"))
+    for warning in schema_warnings(old, new):
+        print(f"warning: {warning}", file=sys.stderr)
     regressions = compare(old, new, args.threshold)
     if regressions:
         print(

@@ -61,6 +61,12 @@ def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
         help="dispatch K cells per worker task (default: auto-size per "
         "batch; only meaningful with --parallel > 1)",
     )
+    subparser.add_argument(
+        "--no-chains",
+        action="store_true",
+        help="disable simulation chains (forked prefix sharing across "
+        "cells that differ only by horizon); chains are on by default",
+    )
 
 
 def _configure_execution(args: argparse.Namespace):
@@ -76,6 +82,7 @@ def _configure_execution(args: argparse.Namespace):
         cache_dir=cache_dir,
         progress=progress,
         chunk_size=args.chunk_size,
+        use_chains=not args.no_chains,
     )
 
 

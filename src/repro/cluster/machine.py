@@ -96,6 +96,21 @@ class Machine:
                 f"({self._free} > {self.total_procs})"
             )
 
+    def clone(self) -> "Machine":
+        """Independent copy of the full machine state (for snapshots).
+
+        The copy carries the allocation table *and* the utilization
+        integral, so a simulation resumed from it reports the identical
+        utilization a monolithic run would.
+        """
+        dup = Machine.__new__(Machine)
+        dup.total_procs = self.total_procs
+        dup._free = self._free
+        dup._allocations = dict(self._allocations)
+        dup._busy_area = self._busy_area
+        dup._last_time = self._last_time
+        return dup
+
     # -- accounting ---------------------------------------------------------------
 
     def utilization(self, until: float | None = None) -> float:

@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.exec.cell import CACHE_SCHEMA_VERSION, Cell
+from repro.exec.chains import ChainStats, chain_key, plan_chains, run_chain
 from repro.exec.executor import CellExecutor, ExecutionReport, simulate_cell
 from repro.exec.serialize import metrics_digest
 from repro.exec.store import ResultStore, StoredResult, StoreStats
@@ -41,10 +42,14 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "Cell",
     "CellExecutor",
+    "ChainStats",
     "ExecutionReport",
     "ResultStore",
     "StoredResult",
     "StoreStats",
+    "chain_key",
+    "plan_chains",
+    "run_chain",
     "simulate_cell",
     "metrics_digest",
     "run_cells",
@@ -80,6 +85,7 @@ def configure(
     progress: Callable[[ExecutionReport], None] | None = None,
     chunk_size: int | None = None,
     preload_workloads: bool = True,
+    use_chains: bool = True,
 ) -> CellExecutor:
     """Replace the default executor and return it.
 
@@ -87,9 +93,11 @@ def configure(
     ``cache_dir`` enables the persistent disk layer, ``progress`` is
     invoked with the live :class:`ExecutionReport` after each completed
     cell.  ``chunk_size`` fixes the cells-per-task dispatch granularity
-    (``None`` auto-sizes per batch) and ``preload_workloads`` controls
-    shipping pre-built workload tables to fresh workers.  The previous
-    default's in-memory results are discarded.
+    (``None`` auto-sizes per batch), ``preload_workloads`` controls
+    shipping pre-built workload tables to fresh workers, and
+    ``use_chains`` toggles forked prefix-sharing across horizon sweeps
+    (the CLI's ``--no-chains`` turns it off).  The previous default's
+    in-memory results are discarded.
     """
     global _default_executor
     _default_executor = CellExecutor(
@@ -99,6 +107,7 @@ def configure(
         progress=progress,
         chunk_size=chunk_size,
         preload_workloads=preload_workloads,
+        use_chains=use_chains,
     )
     return _default_executor
 

@@ -44,6 +44,12 @@ from typing import Callable, Iterable, Sequence
 
 from repro.errors import ReproError
 from repro.exec.cell import Cell
+from repro.exec.chains import (
+    ChainStats,
+    plan_chains,
+    run_chain,
+    simulate_chunk_chained,
+)
 from repro.exec.store import ResultStore, StoredResult
 from repro.metrics.collector import RunMetrics
 
@@ -104,6 +110,14 @@ class ExecutionReport:
     #: awaiting misses) — excludes cache resolution, so a mostly-cached
     #: batch does not dilute the throughput number below.
     sim_elapsed_seconds: float = 0.0
+    #: Simulation chains executed via prefix forking (see exec/chains.py).
+    chains: int = 0
+    #: Cells answered from a forked chain rather than a from-scratch run.
+    chained_cells: int = 0
+    #: snapshot+resume branch points taken across all chains.
+    chain_forks: int = 0
+    #: Chains that fell back to independent simulation.
+    chain_fallbacks: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -134,10 +148,14 @@ class ExecutionReport:
         self.sim_seconds += other.sim_seconds
         self.elapsed_seconds += other.elapsed_seconds
         self.sim_elapsed_seconds += other.sim_elapsed_seconds
+        self.chains += other.chains
+        self.chained_cells += other.chained_cells
+        self.chain_forks += other.chain_forks
+        self.chain_fallbacks += other.chain_fallbacks
 
     def render(self) -> str:
         """One-line human summary used by progress/summary printers."""
-        return (
+        line = (
             f"cells {self.completed}/{self.cells_total}"
             f" | {self.simulated} simulated"
             f" | {self.cache_hits} cached ({self.cache_hit_rate:.0%} hit rate)"
@@ -145,6 +163,12 @@ class ExecutionReport:
             f" ({_si(self.events_per_second)}/s)"
             f" | {self.elapsed_seconds:.1f}s"
         )
+        if self.chains:
+            line += (
+                f" | {self.chains} chains ({self.chained_cells} cells, "
+                f"{self.chain_forks} forks)"
+            )
+        return line
 
 
 def _si(value: float) -> str:
@@ -178,6 +202,9 @@ class CellExecutor:
     * ``preload_workloads`` — ship the batch's distinct workloads to the
       workers through the pool initializer (default on; only applies to
       the default process pool).
+    * ``use_chains`` — fork shared simulation prefixes across cells that
+      differ only by horizon (default on; see :mod:`repro.exec.chains`).
+      Like chunking, disabled under a custom ``pool_factory``.
     """
 
     def __init__(
@@ -190,6 +217,7 @@ class CellExecutor:
         pool_factory: Callable[[int], object] | None = None,
         chunk_size: int | None = None,
         preload_workloads: bool = True,
+        use_chains: bool = True,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -207,6 +235,7 @@ class CellExecutor:
         )
         self.chunk_size = chunk_size if self._default_pool else 1
         self.preload_workloads = preload_workloads and self._default_pool
+        self.use_chains = use_chains and self._default_pool
         self.last_report = ExecutionReport()
         self.session = ExecutionReport()
 
@@ -263,6 +292,14 @@ class CellExecutor:
         sim_started: float,
     ) -> list[tuple[Cell, StoredResult]]:
         out = []
+        if self.use_chains and len(misses) > 1:
+            stats = ChainStats()
+            for group in plan_chains(misses):
+                for cell, stored in run_chain(group, stats):
+                    out.append((cell, stored))
+                    self._note_simulated(report, stored, started, sim_started)
+            self._fold_chain_stats(report, stats)
+            return out
         for cell in misses:
             stored = simulate_cell(cell)
             out.append((cell, stored))
@@ -288,6 +325,8 @@ class CellExecutor:
                         # Singleton tasks keep the one-cell-per-submit
                         # contract custom pool factories rely on.
                         futures[pool.submit(simulate_cell, chunk[0])] = chunk
+                    elif self.use_chains:
+                        futures[pool.submit(simulate_chunk_chained, chunk)] = chunk
                     else:
                         futures[pool.submit(simulate_chunk, chunk)] = chunk
                 queue = []
@@ -316,7 +355,13 @@ class CellExecutor:
                         # Deterministic simulation failure: retrying is
                         # pointless, surface it to the caller.
                         raise
-                    storeds = [result] if len(chunk) == 1 else result
+                    if len(chunk) == 1:
+                        storeds = [result]
+                    elif self.use_chains:
+                        storeds, chunk_stats = result
+                        self._fold_chain_stats(report, chunk_stats)
+                    else:
+                        storeds = result
                     for cell, stored in zip(chunk, storeds):
                         out[cell] = stored
                         self._note_simulated(report, stored, started, sim_started)
@@ -330,13 +375,31 @@ class CellExecutor:
     # -- dispatch helpers -----------------------------------------------------
 
     def _chunked(self, cells: Sequence[Cell]) -> list[tuple[Cell, ...]]:
-        """Split cells into dispatch chunks (order preserved)."""
+        """Split cells into dispatch chunks (order preserved).
+
+        With chains enabled, chain groups are packed whole: a chain split
+        across workers would re-simulate its shared prefix on each side,
+        so a chunk may exceed the nominal size to keep a group together.
+        """
         size = self.chunk_size
         if size is None:
             # Auto: amortize per-task overhead once there are several
             # tasks' worth of work per worker, but never go so coarse
             # that workers idle — at least 4 chunks per worker.
             size = max(1, min(MAX_AUTO_CHUNK, len(cells) // (4 * self.max_workers)))
+        if self.use_chains:
+            groups = plan_chains(cells)
+            if any(len(group) > 1 for group in groups):
+                chunks: list[tuple[Cell, ...]] = []
+                current: list[Cell] = []
+                for group in groups:
+                    if current and len(current) + len(group) > size:
+                        chunks.append(tuple(current))
+                        current = []
+                    current.extend(group)
+                if current:
+                    chunks.append(tuple(current))
+                return chunks
         if size <= 1:
             return [(cell,) for cell in cells]
         return [
@@ -364,6 +427,13 @@ class CellExecutor:
         return ProcessPoolExecutor(max_workers=workers)
 
     # -- bookkeeping ----------------------------------------------------------
+
+    @staticmethod
+    def _fold_chain_stats(report: ExecutionReport, stats: ChainStats) -> None:
+        report.chains += stats.chains
+        report.chained_cells += stats.chained_cells
+        report.chain_forks += stats.forks
+        report.chain_fallbacks += stats.fallbacks
 
     def _note_simulated(
         self,

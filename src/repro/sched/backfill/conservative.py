@@ -90,6 +90,11 @@ class ConservativeScheduler(Scheduler):
         self._reservation_start.clear()
         self._running_resv_end.clear()
 
+    def _fork_into(self, clone: Scheduler) -> None:
+        clone._reservation_start = dict(self._reservation_start)
+        clone._running_resv_end = dict(self._running_resv_end)
+        clone._profile = None if self._profile is None else self._profile.fork()
+
     # -- internals ---------------------------------------------------------------
 
     def _profile_at(self, now: float) -> Profile:

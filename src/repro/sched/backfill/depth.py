@@ -50,6 +50,10 @@ class DepthScheduler(Scheduler):
     def reset(self) -> None:
         self._profile_buffer = None
 
+    def _fork_into(self, clone: Scheduler) -> None:
+        # The buffer is rebuilt from scratch every pass; never shared.
+        clone._profile_buffer = None
+
     def describe(self) -> str:
         return f"{self.name}({self.priority.name}, k={self.depth})"
 

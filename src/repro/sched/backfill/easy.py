@@ -49,6 +49,11 @@ class EasyScheduler(Scheduler):
         # (head_job_id, free_procs) -> (shadow, extra)
         self._shadow_cache: tuple[tuple[int, int], tuple[float, int]] | None = None
 
+    def _fork_into(self, clone: Scheduler) -> None:
+        # The shadow memo is a pure cache keyed on state the clone shares;
+        # dropping it is always safe and the first pass rebuilds it.
+        clone._shadow_cache = None
+
     def notify_started(self, job: Job, now: float) -> None:
         super().notify_started(job, now)
         self._shadow_cache = None

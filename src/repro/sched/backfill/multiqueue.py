@@ -81,6 +81,11 @@ class MultiQueueScheduler(Scheduler):
                 "queue classes must have strictly ascending max_estimate"
             )
 
+    def _fork_into(self, clone: Scheduler) -> None:
+        # QueueClass instances are never mutated after construction, so a
+        # fresh list sharing them is a full copy.
+        clone.classes = list(self.classes)
+
     def reset(self) -> None:
         if self._explicit_classes is None:
             # Non-rejecting defaults: the catch-all class spans the machine

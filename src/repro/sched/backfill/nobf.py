@@ -24,6 +24,9 @@ class FCFSScheduler(Scheduler):
 
     name = "NOBF"
 
+    def _fork_into(self, clone: Scheduler) -> None:
+        pass  # no state beyond the base queue/running bookkeeping
+
     def _schedule_pass(self, now: float) -> list[Job]:
         machine = self._machine()
         free = machine.free_procs

@@ -67,6 +67,11 @@ class SelectiveScheduler(Scheduler):
         self._reserved_ids.clear()
         self._profile_buffer = None
 
+    def _fork_into(self, clone: Scheduler) -> None:
+        clone._reserved_ids = set(self._reserved_ids)
+        # The buffer is rebuilt from scratch every pass; never shared.
+        clone._profile_buffer = None
+
     # -- internals ------------------------------------------------------------
 
     def _update_reserved_set(self, now: float) -> None:

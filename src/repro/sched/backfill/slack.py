@@ -70,6 +70,11 @@ class SlackScheduler(Scheduler):
         self._deadline.clear()
         self._profile_buffer = None
 
+    def _fork_into(self, clone: Scheduler) -> None:
+        clone._deadline = dict(self._deadline)
+        # The buffer is rebuilt from scratch every pass; never shared.
+        clone._profile_buffer = None
+
     # -- planning helpers ------------------------------------------------------
 
     def _running_profile(self, now: float, extra: list[tuple[Job, float]]) -> Profile:

@@ -96,6 +96,53 @@ class Scheduler(ABC):
     def reset(self) -> None:
         """Hook for subclasses to clear their own state on bind()."""
 
+    def rebind(self, machine: Machine, request_wakeup=None) -> None:
+        """Attach to a machine *without* clearing state.
+
+        Used when resuming a simulation from a snapshot: the scheduler
+        copy produced by :meth:`fork` already carries the mid-run queue
+        and planning state, and :meth:`bind`'s reset would destroy it.
+        """
+        self.machine = machine
+        self._request_wakeup = request_wakeup
+        self._queue_is_sorted = self.incremental_queue and not self.priority.is_dynamic
+
+    def fork(self) -> "Scheduler":
+        """Independent copy of the full mid-run scheduler state.
+
+        The copy is detached (no machine, no wakeup callback) until
+        :meth:`rebind` attaches it; the original keeps running
+        unaffected.  The base class copies the shared bookkeeping — the
+        idle queue, the running table, and the priority policy (via
+        ``priority.fork()``, a self-return for stateless policies) — then
+        hands the copy to :meth:`_fork_into` for the subclass's own
+        state.  Every concrete discipline must implement
+        :meth:`_fork_into` (``pass`` when there is nothing beyond the
+        base state) so that new state added later fails loudly instead
+        of being silently shared.
+        """
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.priority = self.priority.fork()
+        clone.machine = None
+        clone._request_wakeup = None
+        clone._queue = list(self._queue)
+        clone._running = dict(self._running)
+        self._fork_into(clone)
+        return clone
+
+    def _fork_into(self, clone: "Scheduler") -> None:
+        """Copy subclass-owned mutable state onto ``clone``.
+
+        ``clone`` starts as a shallow copy of ``self`` (plus deep-copied
+        base bookkeeping); implementations must replace every mutable
+        container and planning structure they own.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement _fork_into(); "
+            "checkpoint/fork needs every discipline to copy its own state"
+        )
+
     def request_wakeup(self, time: float) -> None:
         """Ask the simulator for a TIMER event at ``time`` (no-op unbound)."""
         if self._request_wakeup is not None:

@@ -82,6 +82,15 @@ class FairSharePriority(PriorityPolicy):
         self._usage.clear()
         self._last_decay = 0.0
 
+    def fork(self) -> "FairSharePriority":
+        """Independent copy carrying the accrued usage state."""
+        dup = FairSharePriority(
+            self.base.fork(), half_life=self.half_life, weight=self.weight
+        )
+        dup._usage = dict(self._usage)
+        dup._last_decay = self._last_decay
+        return dup
+
     # -- PriorityPolicy -----------------------------------------------------------
 
     def key(self, job: Job, now: float) -> tuple:

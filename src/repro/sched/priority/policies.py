@@ -86,6 +86,16 @@ class PriorityPolicy(ABC):
         """
         return False
 
+    def fork(self) -> "PriorityPolicy":
+        """Independent copy for scheduler checkpointing.
+
+        The standard policies are frozen and stateless, so sharing the
+        instance is safe and the default just returns ``self``.  Policies
+        carrying mutable per-run state (fair-share usage accounting) must
+        override this with a real copy.
+        """
+        return self
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

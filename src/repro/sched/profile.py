@@ -396,6 +396,19 @@ class Profile:
         self._times[0] = time
         self._n = n - index
 
+    def fork(self) -> "Profile":
+        """Independent copy for scheduler checkpointing.
+
+        Two array copies (the live prefix travels with its spare
+        capacity) — no re-validation, no Python per-segment loop.
+        """
+        dup = Profile.__new__(Profile)
+        dup.total_procs = self.total_procs
+        dup._times = self._times.copy()
+        dup._free = self._free.copy()
+        dup._n = self._n
+        return dup
+
     # -- construction helpers ------------------------------------------------------
 
     @classmethod

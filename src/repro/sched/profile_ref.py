@@ -216,6 +216,18 @@ class Profile:
         del self._times[write + 1 :]
         del self._free[write + 1 :]
 
+    def fork(self) -> "Profile":
+        """Independent copy for scheduler checkpointing (naive list copy).
+
+        Part of the frozen kernel API so the checkpoint differential
+        suite covers both kernels; kept deliberately plain.
+        """
+        dup = Profile.__new__(Profile)
+        dup.total_procs = self.total_procs
+        dup._times = list(self._times)
+        dup._free = list(self._free)
+        return dup
+
     # -- construction helpers ------------------------------------------------------
 
     @classmethod

@@ -22,10 +22,24 @@ The engine verifies global invariants as it runs (monotone clock, every
 arrival eventually completes, starts only of known queued jobs) and raises
 :class:`~repro.errors.SimulationError` on any violation rather than
 returning corrupt results.
+
+Checkpoint/fork (see DESIGN.md section 9): a run can be paused at a
+*batch boundary* with :meth:`Simulator.run_until`, captured with
+:meth:`Simulator.snapshot`, and continued on a *prefix* workload with
+:meth:`Simulator.resume` + :meth:`Simulator.drain` — the mechanism behind
+the executor's simulation chains, which share one simulated prefix across
+an entire horizon sweep.  Workload arrivals are therefore *fed lazily*
+(merged into each batch from the sorted workload rather than pre-pushed
+onto the event queue): the event queue then holds only engine-generated
+events (finishes, timers, blocker arrivals), whose push sequence is
+identical for every workload sharing the prefix, which is what makes a
+snapshot's event queue and tie-breaking counters exactly reusable.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.cluster.machine import Machine
@@ -36,7 +50,7 @@ from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.trace import EventTrace
 from repro.workload.job import Job, Workload
 
-__all__ = ["Simulator", "SimulationResult", "simulate"]
+__all__ = ["Simulator", "SimulationResult", "SimulationSnapshot", "simulate"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +70,38 @@ class SimulationResult:
     def start_times(self) -> dict[int, float]:
         """job_id -> start time (the schedule itself; used by equivalence tests)."""
         return {r.job.job_id: r.start_time for r in self.metrics.records}
+
+
+@dataclass(frozen=True)
+class SimulationSnapshot:
+    """The complete mutable state of a paused simulation.
+
+    Taken by :meth:`Simulator.snapshot` at a batch boundary — no event at
+    a time ``>= watermark`` has been processed — and turned back into a
+    live simulator by :meth:`Simulator.resume`.  Every field is an
+    independent copy (cloned queue/machine, forked scheduler), so the
+    snapshot stays valid while the originating simulation runs on, and a
+    single snapshot can seed any number of resumed branches.
+    """
+
+    clock: float
+    events: EventQueue
+    scheduler: Scheduler
+    machine: Machine
+    timer_times: set
+    timer_prune_at: int
+    completed: tuple
+    start_times: dict
+    events_processed: int
+    blocker_ids: frozenset
+    #: Workload arrivals already fed into batches (= jobs with
+    #: ``submit_time < watermark``); resume validates this against the
+    #: branch workload.
+    delivered: int
+    #: Pause boundary: every batch strictly before it has been processed,
+    #: none at or after it.
+    watermark: float
+    total_procs: int
 
 
 class Simulator:
@@ -82,6 +128,10 @@ class Simulator:
         self._timer_prune_at = 256  # amortized stale-entry prune threshold
         self._blocker_ids: set[int] = set()
         self._ran = False
+        self._primed = False
+        self._finalized = False
+        self._arrival_index = 0  # next workload job to feed into a batch
+        self._watermark = 0.0  # largest run_until() stop time so far
 
     # -- internals ------------------------------------------------------------
 
@@ -192,72 +242,97 @@ class Simulator:
         self._pending -= 1
         self._record_trace("finish", job)
 
-    # -- public API -----------------------------------------------------------
+    # -- the event loop ---------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Run to completion and return the result.  Single use."""
-        if self._ran:
-            raise SimulationError("a Simulator instance can only run once")
-        self._ran = True
-
+    def _prime(self) -> None:
+        """Bind the scheduler and install reservations; arrivals stay lazy."""
+        self._primed = True
         self.scheduler.bind(self.machine, self._request_wakeup)
         self._install_advance_reservations()
-        for job in self.workload:
-            self._events.push(Event(job.submit_time, EventKind.JOB_ARRIVAL, job))
         self._pending = len(self.workload)
 
-        while self._events:
-            batch_time = self._events.next_time
-            if batch_time < self.clock - 1e-9:
-                raise SimulationError(
-                    f"time went backwards: {self.clock} -> {batch_time}"
-                )
-            self.clock = max(self.clock, batch_time)
-            # Prune timer-dedup entries for strictly-past timestamps: their
-            # TIMER events have fired and new requests clamp to >= clock, so
-            # they can never match again — without this the set grows
-            # monotonically over long traces.  Entries at exactly ``clock``
-            # stay: their events may be in this very batch, and
-            # _handle_timer discards them on the exact float.  The scan is
-            # amortized: it runs only once the set doubles past the last
-            # prune's survivor count, so a deep queue of genuinely live
-            # future timers is not rescanned every batch.
-            if len(self._timer_times) > self._timer_prune_at:
-                self._timer_times = {t for t in self._timer_times if t >= self.clock}
-                self._timer_prune_at = max(256, 2 * len(self._timer_times))
-            # Drain every event sharing this timestamp (already kind-ordered:
-            # finishes, then timers, then arrivals).  Events pushed *during*
-            # processing at the same timestamp form the next batch.
-            batch: list[Event] = []
-            while self._events and self._events.next_time == batch_time:
-                batch.append(self._events.pop())
-            self._events_processed += len(batch)
+    def _next_batch_time(self) -> float:
+        """Timestamp of the next batch: earliest queue event or fed arrival."""
+        queue_time = self._events.next_time
+        if self._arrival_index < len(self.workload):
+            arrival_time = self.workload[self._arrival_index].submit_time
+            return arrival_time if arrival_time < queue_time else queue_time
+        return queue_time
 
-            finishes = [e.job for e in batch if e.kind is EventKind.JOB_FINISH]
-            for job in finishes:
-                assert job is not None
-                if job.job_id in self._blocker_ids:
-                    self.machine.release(job, self.clock)
+    def _process_batch(self, batch_time: float) -> None:
+        """Process every event at exactly ``batch_time``.
+
+        The batch merges queue events (finishes, timers, blocker arrivals
+        — popped in kind/sequence order) with the workload arrivals due at
+        this timestamp, fed from the sorted workload.  Because workload
+        arrivals are never *pushed*, the merge reproduces the ordering the
+        pre-checkpoint engine got from pushing all arrivals up front:
+        engine-generated events carry lower sequence numbers than any
+        arrival at the same instant would, and arrivals sort last by kind
+        anyway.  Events pushed *during* processing at the same timestamp
+        form the next batch.
+        """
+        if batch_time < self.clock - 1e-9:
+            raise SimulationError(
+                f"time went backwards: {self.clock} -> {batch_time}"
+            )
+        self.clock = max(self.clock, batch_time)
+        # Prune timer-dedup entries for strictly-past timestamps: their
+        # TIMER events have fired and new requests clamp to >= clock, so
+        # they can never match again — without this the set grows
+        # monotonically over long traces.  Entries at exactly ``clock``
+        # stay: their events may be in this very batch, and
+        # _handle_timer discards them on the exact float.  The scan is
+        # amortized: it runs only once the set doubles past the last
+        # prune's survivor count, so a deep queue of genuinely live
+        # future timers is not rescanned every batch.
+        if len(self._timer_times) > self._timer_prune_at:
+            self._timer_times = {t for t in self._timer_times if t >= self.clock}
+            self._timer_prune_at = max(256, 2 * len(self._timer_times))
+        batch = self._events.pop_batch(batch_time)
+        jobs = self.workload.jobs
+        index = self._arrival_index
+        while index < len(jobs) and jobs[index].submit_time == batch_time:
+            batch.append(Event(batch_time, EventKind.JOB_ARRIVAL, jobs[index]))
+            index += 1
+        self._arrival_index = index
+        self._events_processed += len(batch)
+
+        finishes = [e.job for e in batch if e.kind is EventKind.JOB_FINISH]
+        for job in finishes:
+            assert job is not None
+            if job.job_id in self._blocker_ids:
+                self.machine.release(job, self.clock)
+            else:
+                self._release_finished(job)
+        for job in finishes:
+            assert job is not None
+            if job.job_id in self._blocker_ids:
+                # The scheduler never saw the blocker, but its plan may
+                # anchor starts at the window's end — poke it.
+                self._start_jobs(self.scheduler.poke(self.clock))
+                continue
+            self._start_jobs(self.scheduler.on_finish(job, self.clock))
+        for event in batch:
+            if event.kind is EventKind.TIMER:
+                self._handle_timer()
+            elif event.kind is EventKind.JOB_ARRIVAL:
+                assert event.job is not None
+                if event.job.job_id in self._blocker_ids:
+                    self._handle_blocker_arrival(event.job)
                 else:
-                    self._release_finished(job)
-            for job in finishes:
-                assert job is not None
-                if job.job_id in self._blocker_ids:
-                    # The scheduler never saw the blocker, but its plan may
-                    # anchor starts at the window's end — poke it.
-                    self._start_jobs(self.scheduler.poke(self.clock))
-                    continue
-                self._start_jobs(self.scheduler.on_finish(job, self.clock))
-            for event in batch:
-                if event.kind is EventKind.TIMER:
-                    self._handle_timer()
-                elif event.kind is EventKind.JOB_ARRIVAL:
-                    assert event.job is not None
-                    if event.job.job_id in self._blocker_ids:
-                        self._handle_blocker_arrival(event.job)
-                    else:
-                        self._handle_arrival(event.job)
+                    self._handle_arrival(event.job)
 
+    def _advance_until(self, stop_time: float) -> None:
+        """Process batches strictly before ``stop_time`` (inf = drain all)."""
+        while True:
+            batch_time = self._next_batch_time()
+            if batch_time >= stop_time:
+                return
+            self._process_batch(batch_time)
+
+    def _finalize(self) -> SimulationResult:
+        self._finalized = True
         if self._pending != 0:
             stuck = [j.job_id for j in self.scheduler.queued_jobs]
             raise SchedulingError(
@@ -273,7 +348,11 @@ class Simulator:
             self._completed,
             utilization=self.machine.utilization(),
             makespan=self.clock
-            - (self.workload[0].submit_time if len(self.workload) else 0.0),
+            - (
+                min(job.submit_time for job in self.workload)
+                if len(self.workload)
+                else 0.0
+            ),
         )
         return SimulationResult(
             workload_name=self.workload.name,
@@ -282,6 +361,146 @@ class Simulator:
             events_processed=self._events_processed,
             trace=self.trace,
         )
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run to completion and return the result.  Single use."""
+        if self._ran:
+            raise SimulationError("a Simulator instance can only run once")
+        self._ran = True
+        self._prime()
+        self._advance_until(math.inf)
+        return self._finalize()
+
+    def run_until(self, job_count: int) -> None:
+        """Advance until just before workload job ``job_count`` arrives.
+
+        Processes every batch whose timestamp is strictly before the
+        submit time of ``workload[job_count]`` and pauses at that batch
+        boundary — the exact point where a simulation of only the first
+        ``job_count`` jobs stops being distinguishable from this one, so a
+        :meth:`snapshot` taken here can seed either continuation.  May be
+        called repeatedly with non-decreasing horizons; finish with
+        :meth:`drain`.
+        """
+        if self._finalized:
+            raise SimulationError("run_until() after the simulation finished")
+        if not 0 < job_count < len(self.workload):
+            raise SimulationError(
+                f"run_until() needs 0 < job_count < {len(self.workload)}, "
+                f"got {job_count} (use run() or drain() for a full run)"
+            )
+        if not self._primed:
+            if self._ran:
+                raise SimulationError("run_until() after run() on the same instance")
+            self._ran = True
+            self._prime()
+        stop_time = self.workload[job_count].submit_time
+        if stop_time < self._watermark:
+            raise SimulationError(
+                f"run_until() horizons must be non-decreasing: job {job_count} "
+                f"arrives at {stop_time}, before the previous stop at "
+                f"{self._watermark}"
+            )
+        self._advance_until(stop_time)
+        self._watermark = stop_time
+
+    def drain(self) -> SimulationResult:
+        """Run the remaining events to completion and return the result.
+
+        The terminal step after :meth:`run_until` / :meth:`resume`;
+        subject to the same single-use rule as :meth:`run`.
+        """
+        if not self._primed:
+            raise SimulationError("drain() before run_until() or resume()")
+        if self._finalized:
+            raise SimulationError("drain() after the simulation finished")
+        self._advance_until(math.inf)
+        return self._finalize()
+
+    def snapshot(self) -> SimulationSnapshot:
+        """Capture the paused simulation's state as an independent copy.
+
+        Must follow :meth:`run_until` (the batch-boundary guarantee is
+        what makes the state reusable).  The running simulation is not
+        disturbed and may be advanced further afterwards.
+        """
+        if not self._primed:
+            raise SimulationError("snapshot() before run_until()")
+        if self._finalized:
+            raise SimulationError("snapshot() after the simulation finished")
+        return SimulationSnapshot(
+            clock=self.clock,
+            events=self._events.clone(),
+            scheduler=self.scheduler.fork(),
+            machine=self.machine.clone(),
+            timer_times=set(self._timer_times),
+            timer_prune_at=self._timer_prune_at,
+            completed=tuple(self._completed),
+            start_times=dict(self._start_times),
+            events_processed=self._events_processed,
+            blocker_ids=frozenset(self._blocker_ids),
+            delivered=self._arrival_index,
+            watermark=self._watermark,
+            total_procs=self.machine.total_procs,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        snapshot: SimulationSnapshot,
+        workload: Workload,
+        *,
+        trace: EventTrace | None = None,
+    ) -> "Simulator":
+        """Rebuild a live simulator from ``snapshot`` on ``workload``.
+
+        ``workload`` must agree with the snapshot's history: same machine
+        size, and exactly the snapshot's ``delivered`` jobs submitted
+        before its watermark (the simulated prefix).  The returned
+        simulator continues from the pause point; call :meth:`drain` (or
+        :meth:`run_until` for further checkpoints) on it.  The snapshot is
+        left intact and can seed more branches.
+        """
+        if workload.max_procs != snapshot.total_procs:
+            raise SimulationError(
+                f"cannot resume on a {workload.max_procs}-proc workload: the "
+                f"snapshot was taken on {snapshot.total_procs} processors"
+            )
+        if snapshot.blocker_ids and any(
+            job.job_id >= cls._BLOCKER_ID_BASE for job in workload
+        ):
+            raise SimulationError(
+                f"workload job ids must stay below {cls._BLOCKER_ID_BASE} "
+                "when resuming a snapshot with advance reservations"
+            )
+        delivered = bisect_left(
+            workload.jobs, snapshot.watermark, key=lambda job: job.submit_time
+        )
+        if delivered != snapshot.delivered:
+            raise SimulationError(
+                f"workload disagrees with the snapshot's history: "
+                f"{delivered} jobs submitted before t={snapshot.watermark}, "
+                f"but the snapshot simulated {snapshot.delivered} arrivals"
+            )
+        sim = cls(workload, snapshot.scheduler.fork(), trace=trace)
+        sim.machine = snapshot.machine.clone()
+        sim.clock = snapshot.clock
+        sim._events = snapshot.events.clone()
+        sim._completed = list(snapshot.completed)
+        sim._start_times = dict(snapshot.start_times)
+        sim._events_processed = snapshot.events_processed
+        sim._timer_times = set(snapshot.timer_times)
+        sim._timer_prune_at = snapshot.timer_prune_at
+        sim._blocker_ids = set(snapshot.blocker_ids)
+        sim._arrival_index = delivered
+        sim._pending = len(workload) - len(snapshot.completed)
+        sim._watermark = snapshot.watermark
+        sim._ran = True
+        sim._primed = True
+        sim.scheduler.rebind(sim.machine, sim._request_wakeup)
+        return sim
 
 
 def simulate(

@@ -16,7 +16,6 @@ of the same kind preserve insertion order via a monotone sequence number.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from dataclasses import dataclass
 from enum import IntEnum
@@ -60,11 +59,15 @@ class Event:
 class EventQueue:
     """A stable min-heap of events ordered by (time, kind, insertion)."""
 
-    __slots__ = ("_heap", "_counter")
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
         self._heap: list[tuple[tuple[float, int, int], Event]] = []
-        self._counter = itertools.count()
+        # Plain integer rather than itertools.count so the counter can be
+        # captured and restored by clone() — a resumed simulation must hand
+        # out the exact sequence numbers the monolithic run would have, or
+        # same-timestamp tie-breaking diverges.
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -74,13 +77,42 @@ class EventQueue:
 
     def push(self, event: Event) -> None:
         """Insert an event; inserting into the past is a simulation bug."""
-        heapq.heappush(self._heap, (event.sort_key(next(self._counter)), event))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (event.sort_key(seq), event))
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:
             raise SimulationError("pop from an empty event queue")
         return heapq.heappop(self._heap)[1]
+
+    def pop_batch(self, time: float) -> list[Event]:
+        """Remove and return every event scheduled at exactly ``time``.
+
+        The returned list is in (kind, insertion) order — the same order
+        repeated :meth:`pop` calls would produce.  One direct peek at the
+        heap root per event replaces the ``next_time`` property re-read the
+        engine's drain loop used to pay per event (it is the hottest loop
+        of a simulation).
+        """
+        heap = self._heap
+        batch: list[Event] = []
+        while heap and heap[0][0][0] == time:
+            batch.append(heapq.heappop(heap)[1])
+        return batch
+
+    def clone(self) -> "EventQueue":
+        """Independent copy (for simulation snapshots).
+
+        Shallow-copies the heap — entries are immutable ``(key, Event)``
+        tuples — and carries the sequence counter over, so events pushed
+        after the clone order identically in both queues.
+        """
+        dup = EventQueue()
+        dup._heap = list(self._heap)
+        dup._seq = self._seq
+        return dup
 
     def peek(self) -> Event:
         """Return the earliest event without removing it."""

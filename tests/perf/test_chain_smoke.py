@@ -1,0 +1,39 @@
+"""Perf smoke test: the chained sweep leg must outrun independent cells.
+
+Runs a two-condition slice of the ``benchmarks/bench_chain.py`` grid
+through the executor with and without chains and asserts the chained leg
+wins at all — far below the ~1.8x the full benchmark measures, so only a
+lost optimization (e.g. chains silently falling back per group) trips
+it, not CI jitter.  Real numbers belong to ``benchmarks/bench_chain.py``
++ ``benchmarks/compare_bench.py``; this is just the tripwire that runs
+on every push (``-m perf``).
+"""
+
+import pytest
+
+from repro.exec import Cell, metrics_digest
+from repro.experiments.config import WorkloadSpec
+
+from benchmarks.bench_chain import ESTIMATE, SCHEDULER, TRACE, _time_executor
+
+MIN_SPEEDUP = 1.0
+
+
+@pytest.mark.perf
+def test_chained_sweep_leg_beats_independent_leg():
+    cells = [
+        Cell(WorkloadSpec(TRACE, horizon, 1, load, ESTIMATE), *SCHEDULER)
+        for load in (0.9, 1.2)
+        for horizon in (300, 400, 500)
+    ]
+    plain_seconds, _, plain = _time_executor(cells, use_chains=False)
+    chain_seconds, executor, chained = _time_executor(cells, use_chains=True)
+    for a, b in zip(plain, chained):
+        assert metrics_digest(a) == metrics_digest(b)
+    assert executor.last_report.chain_fallbacks == 0
+    assert plain_seconds > chain_seconds * MIN_SPEEDUP, (
+        f"chained sweep leg no longer beats independent cells: "
+        f"{plain_seconds:.3f}s independent vs {chain_seconds:.3f}s chained; "
+        "run benchmarks/bench_chain.py and compare against the checked-in "
+        "BENCH_chain.json"
+    )

@@ -1,0 +1,61 @@
+"""The bench-comparison gate must tolerate schema drift, not crash on it."""
+
+from benchmarks.compare_bench import compare, main, schema_warnings, throughput_leaves
+
+
+class TestThroughputLeaves:
+    def test_none_and_nan_leaves_are_treated_as_absent(self):
+        payload = {
+            "serial_events_per_second": 100.0,
+            "parallel_events_per_second": None,
+            "chunked_events_per_second": float("nan"),
+            "parallel_leg_run": True,  # bool must not count as numeric
+        }
+        assert throughput_leaves(payload) == {"serial_events_per_second": 100.0}
+
+    def test_nested_and_listed_leaves_flatten(self):
+        payload = {"legs": [{"a_events_per_second": 1.0}], "n_cells": 90}
+        assert throughput_leaves(payload) == {"legs[0].a_events_per_second": 1.0}
+
+
+class TestSchemaWarnings:
+    def test_identical_payloads_warn_nothing(self):
+        payload = {"schema": 1, "x_events_per_second": 5.0}
+        assert schema_warnings(payload, dict(payload)) == []
+
+    def test_version_bump_and_key_drift_warn(self):
+        old = {"schema": 1, "gone": 1, "x_events_per_second": 5.0}
+        new = {"schema": 2, "added": 1, "x_events_per_second": 5.0}
+        warnings = schema_warnings(old, new)
+        assert any("schema version differs: 1 -> 2" in w for w in warnings)
+        assert any("only in baseline: gone" in w for w in warnings)
+        assert any("only in candidate: added" in w for w in warnings)
+
+    def test_missing_schema_field_warns_but_does_not_crash(self):
+        assert schema_warnings({}, {"schema": 1}) == [
+            "schema version differs: None -> 1",
+            "fields only in candidate: schema",
+        ]
+
+
+class TestCompare:
+    def test_metrics_present_in_one_file_never_fail_the_gate(self, capsys):
+        old = {"gone_events_per_second": 10.0, "kept_events_per_second": 10.0}
+        new = {"new_events_per_second": 10.0, "kept_events_per_second": 9.0}
+        assert compare(old, new, threshold=0.30) == []
+        out = capsys.readouterr().out
+        assert "(new metric)" in out and "(removed)" in out
+
+    def test_regression_beyond_threshold_fails(self):
+        old = {"kept_events_per_second": 10.0}
+        new = {"kept_events_per_second": 6.0}
+        regressions = compare(old, new, threshold=0.30)
+        assert len(regressions) == 1 and "kept_events_per_second" in regressions[0]
+
+    def test_main_survives_drifted_payloads(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text('{"schema": 1, "x_events_per_second": 10.0}')
+        new.write_text('{"schema": 2, "x_events_per_second": null, "extra": 1}')
+        assert main([str(old), str(new)]) == 0
+        assert "warning: schema version differs" in capsys.readouterr().err

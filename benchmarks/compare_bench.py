@@ -4,12 +4,13 @@ Usage::
 
     python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.30]
 
-Walks both payloads for numeric leaves whose key ends in
-``events_per_second`` (the schema-agnostic throughput convention shared by
-``BENCH_kernel.json`` and ``BENCH_executor.json``), prints a side-by-side
-table, and exits nonzero if any metric present in both files dropped by
-more than ``threshold`` (default 30% — wide enough to absorb host noise,
-tight enough to catch a lost optimization).  Metrics present in only one
+Walks both payloads for numeric leaves whose key ends in ``_per_second``
+(the schema-agnostic throughput convention shared by every BENCH
+snapshot: ``events_per_second``, ``cells_per_second``, the store bench's
+write/resolve rates), prints a side-by-side table, and exits nonzero if
+any metric present in both files dropped by more than ``threshold``
+(default 30% — wide enough to absorb host noise, tight enough to catch a
+lost optimization).  Metrics present in only one
 file are reported but never fail the comparison, so adding or removing a
 bench case does not break the gate.
 """
@@ -26,7 +27,7 @@ DEFAULT_THRESHOLD = 0.30
 
 
 def throughput_leaves(payload, prefix=""):
-    """Flatten to {dotted.path: value} for *events_per_second keys.
+    """Flatten to {dotted.path: value} for ``*_per_second`` keys.
 
     Null and NaN leaves (a skipped parallel leg writes ``None``) are
     treated as absent rather than crashing the comparison.
@@ -41,7 +42,7 @@ def throughput_leaves(payload, prefix=""):
                 isinstance(value, (int, float))
                 and not isinstance(value, bool)
                 and not math.isnan(value)
-                and str(key).endswith("events_per_second")
+                and str(key).endswith("_per_second")
             ):
                 leaves[path] = float(value)
     elif isinstance(payload, list):
@@ -90,7 +91,7 @@ def compare(old: dict, new: dict, threshold: float) -> list[str]:
         if after < before * (1.0 - threshold):
             flag = "  REGRESSION"
             regressions.append(
-                f"{path}: {before:.1f} -> {after:.1f} ev/s ({change:+.1%})"
+                f"{path}: {before:.1f} -> {after:.1f} /s ({change:+.1%})"
             )
         print(f"{path:{width}s}  {before:>12.1f} -> {after:>12.1f} ({change:+.1%}){flag}")
     return regressions

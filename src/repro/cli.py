@@ -9,6 +9,8 @@ Subcommands:
 * ``generate`` — emit a synthetic workload as an SWF file.
 * ``report`` — run experiments and write a Markdown/CSV results directory.
 * ``characterize`` — print a workload's characterization statistics.
+* ``store`` — inspect and maintain a persistent result cache
+  (``stats``, ``gc``, ``migrate``).
 * ``list`` — list available experiments, schedulers, and priorities.
 """
 
@@ -20,7 +22,12 @@ import time
 
 from repro._version import __version__
 from repro.errors import ReproError
-from repro.exec import ExecutionReport, configure as configure_executor, run_cells
+from repro.exec import (
+    BACKEND_CHOICES,
+    ExecutionReport,
+    configure as configure_executor,
+    run_cells,
+)
 from repro.experiments.config import DEFAULT_PARAMS, ExperimentParams
 from repro.experiments.registry import EXPERIMENTS, collect_cells, run_experiment
 from repro.experiments.runner import SCHEDULER_KINDS, make_scheduler, make_workload
@@ -54,6 +61,14 @@ def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
         help="ignore --cache-dir: neither read nor write persisted results",
     )
     subparser.add_argument(
+        "--store-backend",
+        default="auto",
+        choices=BACKEND_CHOICES,
+        help="disk layout for --cache-dir: 'json' (one file per cell), "
+        "'sqlite' (one WAL database), 'shard' (columnar npz shards); "
+        "'auto' sniffs an existing directory (default: auto)",
+    )
+    subparser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
@@ -83,6 +98,7 @@ def _configure_execution(args: argparse.Namespace):
         progress=progress,
         chunk_size=args.chunk_size,
         use_chains=not args.no_chains,
+        store_backend=args.store_backend,
     )
 
 
@@ -182,6 +198,58 @@ def build_parser() -> argparse.ArgumentParser:
     char.add_argument("--jobs", type=int, default=2500)
     char.add_argument("--seed", type=int, default=1)
     char.add_argument("--load-scale", type=float, default=1.0)
+
+    store = sub.add_parser(
+        "store", help="inspect and maintain a persistent result cache"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    concrete = tuple(name for name in BACKEND_CHOICES if name != "auto")
+
+    stats = store_sub.add_parser(
+        "stats", help="print a cache directory's backend, entry count, and size"
+    )
+    stats.add_argument("cache_dir", help="the result-cache directory")
+    stats.add_argument(
+        "--backend",
+        default="auto",
+        choices=BACKEND_CHOICES,
+        help="force a disk layout instead of sniffing (default: auto)",
+    )
+
+    gc = store_sub.add_parser(
+        "gc", help="sweep a cache, dropping stale and corrupt entries"
+    )
+    gc.add_argument("cache_dir", help="the result-cache directory")
+    gc.add_argument(
+        "--backend",
+        default="auto",
+        choices=BACKEND_CHOICES,
+        help="force a disk layout instead of sniffing (default: auto)",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+
+    migrate = store_sub.add_parser(
+        "migrate", help="copy every cache entry into another backend layout"
+    )
+    migrate.add_argument("source", help="existing cache directory to read")
+    migrate.add_argument("dest", help="cache directory to write (may be new)")
+    migrate.add_argument(
+        "--to",
+        default="sqlite",
+        choices=concrete,
+        help="destination disk layout (default: sqlite)",
+    )
+    migrate.add_argument(
+        "--from",
+        dest="source_backend",
+        default="auto",
+        choices=BACKEND_CHOICES,
+        help="source disk layout (default: auto-sniffed)",
+    )
 
     sub.add_parser("list", help="list experiments, schedulers, priorities")
     return parser
@@ -328,6 +396,40 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(value)} B"  # pragma: no cover - unreachable
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.exec import ResultStore, migrate_store
+
+    if args.store_command == "stats":
+        store = ResultStore(cache_dir=args.cache_dir, backend=args.backend)
+        print(f"backend : {store.backend_kind}")
+        print(f"entries : {store.entry_count()}")
+        print(f"size    : {_human_bytes(store.size_bytes())}")
+        return 0
+    if args.store_command == "gc":
+        store = ResultStore(cache_dir=args.cache_dir, backend=args.backend)
+        report = store.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"kept {report.kept}, {verb} {report.stale_removed} stale "
+            f"+ {report.corrupt_removed} corrupt"
+        )
+        return 0
+    source = ResultStore(cache_dir=args.source, backend=args.source_backend)
+    dest = ResultStore(cache_dir=args.dest, backend=args.to)
+    copied = migrate_store(source, dest)
+    print(f"migrated {copied} entries ({source.backend_kind} -> {dest.backend_kind})")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:")
     for experiment_id in EXPERIMENTS:
@@ -347,6 +449,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "report": _cmd_report,
         "characterize": _cmd_characterize,
+        "store": _cmd_store,
         "list": _cmd_list,
     }
     try:

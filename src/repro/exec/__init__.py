@@ -31,23 +31,37 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro.exec.backends import BACKEND_CHOICES, StoreBackend, make_backend
 from repro.exec.cell import CACHE_SCHEMA_VERSION, Cell
 from repro.exec.chains import ChainStats, chain_key, plan_chains, run_chain
 from repro.exec.executor import CellExecutor, ExecutionReport, simulate_cell
 from repro.exec.serialize import metrics_digest
-from repro.exec.store import ResultStore, StoredResult, StoreStats
+from repro.exec.store import (
+    DEFAULT_MEMORY_LIMIT,
+    GcReport,
+    ResultStore,
+    StoredResult,
+    StoreStats,
+    migrate_store,
+)
 from repro.metrics.collector import RunMetrics
 
 __all__ = [
+    "BACKEND_CHOICES",
     "CACHE_SCHEMA_VERSION",
     "Cell",
     "CellExecutor",
     "ChainStats",
+    "DEFAULT_MEMORY_LIMIT",
     "ExecutionReport",
+    "GcReport",
     "ResultStore",
+    "StoreBackend",
     "StoredResult",
     "StoreStats",
     "chain_key",
+    "make_backend",
+    "migrate_store",
     "plan_chains",
     "run_chain",
     "simulate_cell",
@@ -86,6 +100,8 @@ def configure(
     chunk_size: int | None = None,
     preload_workloads: bool = True,
     use_chains: bool = True,
+    store_backend: str = "auto",
+    memory_limit: int | None = DEFAULT_MEMORY_LIMIT,
 ) -> CellExecutor:
     """Replace the default executor and return it.
 
@@ -96,13 +112,18 @@ def configure(
     (``None`` auto-sizes per batch), ``preload_workloads`` controls
     shipping pre-built workload tables to fresh workers, and
     ``use_chains`` toggles forked prefix-sharing across horizon sweeps
-    (the CLI's ``--no-chains`` turns it off).  The previous default's
-    in-memory results are discarded.
+    (the CLI's ``--no-chains`` turns it off).  ``store_backend`` picks
+    the disk layout (``auto``/``json``/``sqlite``/``shard`` — the CLI's
+    ``--store-backend``) and ``memory_limit`` caps the store's
+    in-process layer.  The previous default's in-memory results are
+    discarded.
     """
     global _default_executor
     _default_executor = CellExecutor(
         max_workers=parallel,
-        store=ResultStore(cache_dir=cache_dir),
+        store=ResultStore(
+            cache_dir=cache_dir, backend=store_backend, memory_limit=memory_limit
+        ),
         max_retries=max_retries,
         progress=progress,
         chunk_size=chunk_size,

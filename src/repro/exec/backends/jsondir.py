@@ -1,0 +1,114 @@
+"""The original one-JSON-file-per-cell backend, kept verbatim for debugging.
+
+Layout: ``<cache_dir>/<key>.json``, each file holding one entry payload.
+Writes stay atomic (temp file + ``os.replace``) so concurrent harness
+invocations sharing a cache directory never observe torn files — the
+guarantee the pre-backend ``ResultStore`` shipped with.
+
+This backend has no bulk advantage: every batch call degrades to one
+``stat`` + ``open`` + ``read`` + ``json.loads`` per key, which is exactly
+why it is hopeless at production sweep scale (``benchmarks/bench_store.py``
+quantifies the gap against SQLite and shards).  It survives because a
+directory of pretty-greppable JSON files is unbeatable for debugging a
+single suspicious cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.exec.backends.base import EntryMeta, LoadResult, Resolution, StoreBackend
+
+__all__ = ["JsonDirBackend"]
+
+
+class JsonDirBackend(StoreBackend):
+    """One ``<key>.json`` file per entry under the cache directory."""
+
+    kind = "json"
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+
+    def path_for(self, key: str) -> Path:
+        """The file a key's entry lives in (whether or not it exists)."""
+        return self.cache_dir / f"{key}.json"
+
+    # -- batch primitives ------------------------------------------------------
+
+    def resolve_many(self, keys: Sequence[str]) -> Resolution:
+        # A JSON file's bookkeeping facts are not separable from its
+        # metrics: resolution costs a full parse per key regardless.
+        resolution = Resolution()
+        for key, payload in self._read_each(keys, resolution.corrupt):
+            try:
+                resolution.hits[key] = EntryMeta(
+                    schema=int(payload["schema"]),
+                    events_processed=int(payload["events_processed"]),
+                    sim_seconds=float(payload["sim_seconds"]),
+                )
+            except (KeyError, TypeError, ValueError):
+                resolution.corrupt.append(key)
+        return resolution
+
+    def load_many(self, keys: Sequence[str]) -> LoadResult:
+        result = LoadResult()
+        for key, payload in self._read_each(keys, result.corrupt):
+            result.payloads[key] = payload
+        return result
+
+    def put_many(self, items: Sequence[tuple[str, dict]]) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        pid = os.getpid()
+        for key, payload in items:
+            path = self.path_for(key)
+            tmp = path.with_suffix(f".tmp.{pid}")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp, path)
+
+    def delete_many(self, keys: Sequence[str]) -> int:
+        removed = 0
+        for key in keys:
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:  # missing, races, read-only dir — all fine
+                pass
+        return removed
+
+    def keys(self) -> list[str]:
+        if not self.cache_dir.is_dir():
+            return []
+        return [path.stem for path in self.cache_dir.glob("*.json")]
+
+    # -- facts -----------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.cache_dir.glob("*.json"))
+
+    # -- internals -------------------------------------------------------------
+
+    def _read_each(self, keys: Sequence[str], corrupt: list[str]):
+        """Yield ``(key, payload)`` per readable file, collecting corruption."""
+        for key in keys:
+            try:
+                text = self.path_for(key).read_text(encoding="utf-8")
+            except FileNotFoundError:
+                continue
+            except OSError:
+                corrupt.append(key)
+                continue
+            try:
+                payload = json.loads(text)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                corrupt.append(key)
+                continue
+            if not isinstance(payload, dict):
+                corrupt.append(key)
+                continue
+            yield key, payload

@@ -1,0 +1,303 @@
+"""Columnar npz shard backend: one file per write batch, arrays inside.
+
+Layout: ``<cache_dir>/shards/shard-<seq>-<pid>-<tag>.npz``.  Each shard
+packs one ``put_many`` batch — typically a whole grid's worth of results —
+into flat numpy arrays, reusing the repo's columnar transport idiom
+(``JobTable.to_payload`` flat buffers, PR 4):
+
+* per-entry scalars: ``keys`` (content hashes), ``schema``,
+  ``events_processed``, ``sim_seconds``, ``utilization``, ``makespan``,
+  and the cell's canonical JSON text;
+* the concatenated completed-job records of every entry as one
+  int64/float64 array per record column
+  (:data:`repro.exec.serialize.RECORD_COLUMNS`), with ``row_offsets``
+  delimiting each entry's slice.
+
+``np.load`` over an ``.npz`` is lazy per member, so resolving membership
+reads only the small scalar arrays (cached in the in-process index after
+the first touch) and never the record columns — a fully-warm 100k-cell
+grid resolves from a handful of array reads.  Metrics decoding slices the
+record arrays and rebuilds payload rows without any JSON parsing at all.
+
+Concurrency: shards are immutable once written (temp file + ``os.replace``),
+so concurrent writers can only *add* files; name collisions are avoided
+with a pid + random tag, and on duplicate keys the newest shard (highest
+sequence, then name) wins.  Deletion rewrites the affected shards without
+the removed rows — a compaction, priced accordingly and used by ``store gc``
+rather than any hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.exec.backends.base import EntryMeta, LoadResult, Resolution, StoreBackend
+from repro.exec.serialize import (
+    RECORD_COLUMNS,
+    record_arrays_to_rows,
+    record_rows_to_arrays,
+)
+
+__all__ = ["ShardBackend", "SHARD_DIRNAME"]
+
+#: Subdirectory of the cache dir that holds the shard files.
+SHARD_DIRNAME = "shards"
+
+#: Expected metrics-payload column list; shards can only pack payloads
+#: whose records use exactly this layout (anything else round-trips
+#: through... nothing: the store treats it as unpackable and the caller
+#: should use another backend).  In practice every payload the harness
+#: writes matches, because they all come from ``metrics_to_payload``.
+_EXPECTED_COLUMNS = list(RECORD_COLUMNS)
+
+
+class _Shard:
+    """One loaded-on-demand shard file plus its cached scalar columns."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.keys: list[str] = []
+        self.metas: list[EntryMeta] = []
+
+    def load_meta(self) -> None:
+        # ``.tolist()`` up front: per-row numpy scalar conversion inside
+        # the resolve loop is 100k-cell hot-path cost; bulk ``_make`` over
+        # zipped builtin columns mints every EntryMeta at C speed.
+        with np.load(self.path, allow_pickle=False) as npz:
+            self.keys = npz["keys"].tolist()
+            self.metas = list(
+                map(
+                    EntryMeta._make,
+                    zip(
+                        npz["schema"].tolist(),
+                        npz["events_processed"].tolist(),
+                        npz["sim_seconds"].tolist(),
+                    ),
+                )
+            )
+
+
+class ShardBackend(StoreBackend):
+    """Immutable columnar ``.npz`` shards, newest-wins on duplicate keys."""
+
+    kind = "shard"
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.shard_dir = self.cache_dir / SHARD_DIRNAME
+        #: key -> (shard, row index); rebuilt whenever the directory's
+        #: file set drifts from what the index was built over.
+        self._index: dict[str, tuple[_Shard, int]] = {}
+        #: key -> EntryMeta, maintained alongside ``_index`` so
+        #: ``resolve_many`` is a plain dict probe per key.
+        self._meta: dict[str, EntryMeta] = {}
+        #: Every readable shard, including superseded rows — deletion
+        #: must compact *all* copies of a key or an old shard's row
+        #: would resurface on the next index rebuild.
+        self._shards: list[_Shard] = []
+        self._indexed_files: set[str] = set()
+
+    # -- index maintenance -----------------------------------------------------
+
+    def _shard_files(self) -> list[Path]:
+        if not self.shard_dir.is_dir():
+            return []
+        # Sorted so later sequence numbers override earlier ones when a
+        # key was rewritten; ties broken deterministically by name.
+        return sorted(self.shard_dir.glob("shard-*.npz"))
+
+    def _refresh_index(self) -> None:
+        files = self._shard_files()
+        names = {path.name for path in files}
+        if names == self._indexed_files:
+            return
+        self._index = {}
+        self._meta = {}
+        self._shards = []
+        self._indexed_files = set()
+        for path in files:
+            shard = _Shard(path)
+            try:
+                shard.load_meta()
+            except Exception:
+                # An unreadable shard (torn copy, disk fault) contributes
+                # nothing; its keys simply miss and get re-simulated.
+                # Left in place for post-mortems; `store gc` removes it.
+                self._indexed_files.add(path.name)
+                continue
+            shard_keys = shard.keys
+            rows = [(shard, row) for row in range(len(shard_keys))]
+            self._index.update(zip(shard_keys, rows))
+            self._meta.update(zip(shard_keys, shard.metas))
+            self._shards.append(shard)
+            self._indexed_files.add(path.name)
+
+    # -- batch primitives ------------------------------------------------------
+
+    def resolve_many(self, keys: Sequence[str]) -> Resolution:
+        self._refresh_index()
+        resolution = Resolution()
+        meta = self._meta
+        hits = resolution.hits
+        for key in keys:
+            entry = meta.get(key)
+            if entry is not None:
+                hits[key] = entry
+        return resolution
+
+    def load_many(self, keys: Sequence[str]) -> LoadResult:
+        self._refresh_index()
+        result = LoadResult()
+        by_shard: dict[Path, tuple[_Shard, list[tuple[str, int]]]] = {}
+        for key in keys:
+            entry = self._index.get(key)
+            if entry is None:
+                continue
+            shard, row = entry
+            by_shard.setdefault(shard.path, (shard, []))[1].append((key, row))
+        for shard, wanted in by_shard.values():
+            try:
+                with np.load(shard.path, allow_pickle=False) as npz:
+                    cells = npz["cell_json"]
+                    offsets = npz["row_offsets"]
+                    utilization = npz["utilization"]
+                    makespan = npz["makespan"]
+                    record_arrays = {name: npz[f"rec_{name}"] for name in RECORD_COLUMNS}
+            except Exception:
+                result.corrupt.extend(key for key, _ in wanted)
+                continue
+            for key, row in wanted:
+                meta = shard.metas[row]
+                try:
+                    payload = {
+                        "schema": meta.schema,
+                        "cell": json.loads(cells[row]),
+                        "events_processed": meta.events_processed,
+                        "sim_seconds": meta.sim_seconds,
+                        "metrics": {
+                            "utilization": float(utilization[row]),
+                            "makespan": float(makespan[row]),
+                            "columns": list(_EXPECTED_COLUMNS),
+                            "records": record_arrays_to_rows(
+                                record_arrays,
+                                int(offsets[row]),
+                                int(offsets[row + 1]),
+                            ),
+                        },
+                    }
+                except (json.JSONDecodeError, IndexError, KeyError, ValueError):
+                    result.corrupt.append(key)
+                    continue
+                result.payloads[key] = payload
+        return result
+
+    def put_many(self, items: Sequence[tuple[str, dict]]) -> None:
+        if not items:
+            return
+        keys, schemas, cells, events, sims = [], [], [], [], []
+        utils, spans, offsets, all_rows = [], [], [0], []
+        for key, payload in items:
+            metrics = payload["metrics"]
+            if metrics.get("columns") != _EXPECTED_COLUMNS:
+                raise ValueError(
+                    "shard backend cannot pack metrics payload with columns "
+                    f"{metrics.get('columns')!r}"
+                )
+            keys.append(key)
+            schemas.append(int(payload["schema"]))
+            cells.append(
+                json.dumps(payload["cell"], sort_keys=True, separators=(",", ":"))
+            )
+            events.append(int(payload["events_processed"]))
+            sims.append(float(payload["sim_seconds"]))
+            utils.append(float(metrics["utilization"]))
+            spans.append(float(metrics["makespan"]))
+            all_rows.extend(metrics["records"])
+            offsets.append(len(all_rows))
+        arrays = {
+            "keys": np.array(keys),
+            "schema": np.array(schemas, dtype=np.int64),
+            "cell_json": np.array(cells),
+            "events_processed": np.array(events, dtype=np.int64),
+            "sim_seconds": np.array(sims, dtype=np.float64),
+            "utilization": np.array(utils, dtype=np.float64),
+            "makespan": np.array(spans, dtype=np.float64),
+            "row_offsets": np.array(offsets, dtype=np.int64),
+        }
+        for name, column in record_rows_to_arrays(all_rows).items():
+            arrays[f"rec_{name}"] = column
+        self._write_shard(arrays)
+
+    def delete_many(self, keys: Sequence[str]) -> int:
+        self._refresh_index()
+        doomed = set(keys) & set(self._index)
+        if not doomed:
+            return 0
+        # Compact every shard holding a doomed key — superseded copies in
+        # older shards included, or they would resurface on re-index.
+        for shard in self._shards:
+            shard_doomed = doomed.intersection(shard.keys)
+            if shard_doomed:
+                self._compact_shard(shard.path, shard_doomed)
+        self._indexed_files = set()  # force re-index on next touch
+        return len(doomed)
+
+    def keys(self) -> list[str]:
+        self._refresh_index()
+        return list(self._index)
+
+    # -- facts -----------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self._shard_files())
+
+    # -- internals -------------------------------------------------------------
+
+    def _write_shard(self, arrays: dict[str, np.ndarray]) -> None:
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        seq = 0
+        for path in self._shard_files():
+            try:
+                seq = max(seq, int(path.name.split("-")[1]))
+            except (IndexError, ValueError):
+                pass
+        name = f"shard-{seq + 1:08d}-{os.getpid()}-{secrets.token_hex(4)}.npz"
+        path = self.shard_dir / name
+        tmp = path.with_suffix(".tmp.npz")
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+        self._indexed_files = set()  # pick the new shard up on next touch
+
+    def _compact_shard(self, path: Path, doomed: set[str]) -> None:
+        """Rewrite one shard without ``doomed`` keys (remove it if emptied)."""
+        with np.load(path, allow_pickle=False) as npz:
+            data = {name: npz[name] for name in npz.files}
+        keep = [i for i, key in enumerate(data["keys"].tolist()) if key not in doomed]
+        if not keep:
+            path.unlink()
+            return
+        offsets = data["row_offsets"]
+        row_index = np.concatenate(
+            [np.arange(offsets[i], offsets[i + 1]) for i in keep]
+        ).astype(np.int64)
+        new_offsets = np.zeros(len(keep) + 1, dtype=np.int64)
+        np.cumsum([offsets[i + 1] - offsets[i] for i in keep], out=new_offsets[1:])
+        compacted = {}
+        for name, array in data.items():
+            if name == "row_offsets":
+                compacted[name] = new_offsets
+            elif name.startswith("rec_"):
+                compacted[name] = array[row_index]
+            else:
+                compacted[name] = array[keep]
+        tmp = path.with_suffix(".tmp.npz")
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **compacted)
+        os.replace(tmp, path)

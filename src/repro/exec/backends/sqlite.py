@@ -1,0 +1,229 @@
+"""SQLite result-store backend: meta/payload tables, WAL mode, batched writes.
+
+Layout: ``<cache_dir>/results.sqlite`` holding two tables keyed by cell
+content hash.  ``meta`` carries only the bookkeeping facts (schema
+version, event count, simulated seconds) — rows of ~100 bytes — while
+the serialized cell and metrics JSON live in the separate ``payloads``
+table.  The split is what makes :meth:`SqliteBackend.resolve_many`
+fast at grid scale: warm-path resolution walks a B-tree of compact
+``meta`` rows and never pages through multi-kilobyte metrics text,
+which a single fat table would force (the payload bytes sit inline in
+the same B-tree pages the key probes traverse).  :meth:`load_many`
+joins the two tables when metrics are actually wanted.
+
+Concurrency: the database runs in WAL journal mode with a generous busy
+timeout, so multiple *processes* sharing one cache directory can write
+simultaneously — writers serialize on the WAL lock instead of failing,
+and readers never block on writers.  Every ``put_many`` is one
+transaction, which is both the durability unit (a killed process loses at
+most the in-flight batch, never previously committed rows) and the reason
+bulk writes are an order of magnitude faster than per-file JSON.
+
+Connections are opened lazily and re-opened after a ``fork`` (SQLite
+handles must not cross processes), keyed by pid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Sequence
+
+from repro.exec.backends.base import EntryMeta, LoadResult, Resolution, StoreBackend
+
+__all__ = ["SqliteBackend", "DB_FILENAME"]
+
+#: The database file a cache directory's SQLite backend lives in.
+DB_FILENAME = "results.sqlite"
+
+#: Seconds a writer waits on the WAL lock before giving up.  Sweeps
+#: batch thousands of rows per transaction, so contention windows are
+#: short; 30s absorbs even a slow competing bulk write.
+BUSY_TIMEOUT_SECONDS = 30.0
+
+#: Keys per ``IN (...)`` clause.  SQLite's default parameter limit is
+#: 999 (32766 on newer builds); staying under the old floor keeps the
+#: backend portable while still batching well.
+_SELECT_CHUNK = 900
+
+_CREATE_META = """
+CREATE TABLE IF NOT EXISTS meta (
+    key              TEXT PRIMARY KEY,
+    schema_version   INTEGER NOT NULL,
+    events_processed INTEGER NOT NULL,
+    sim_seconds      REAL NOT NULL
+) WITHOUT ROWID
+"""
+
+# An ordinary rowid table: the TEXT primary key becomes a slim key->rowid
+# index while the heavy cell/metrics text appends to the rowid B-tree in
+# insertion order, keeping writes sequential and the meta table lean.
+_CREATE_PAYLOADS = """
+CREATE TABLE IF NOT EXISTS payloads (
+    key     TEXT PRIMARY KEY,
+    cell    TEXT NOT NULL,
+    metrics TEXT NOT NULL
+)
+"""
+
+
+class SqliteBackend(StoreBackend):
+    """Single-table SQLite storage with WAL-mode concurrent writers."""
+
+    kind = "sqlite"
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.path = self.cache_dir / DB_FILENAME
+        self._conn: sqlite3.Connection | None = None
+        self._conn_pid: int | None = None
+
+    # -- connection management -------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        """The per-process connection, (re)opened lazily and after forks."""
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            if self._conn is not None and self._conn_pid == pid:
+                self._conn.close()
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=BUSY_TIMEOUT_SECONDS)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(_CREATE_META)
+            conn.execute(_CREATE_PAYLOADS)
+            conn.commit()
+            self._conn = conn
+            self._conn_pid = pid
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None and self._conn_pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._conn_pid = None
+
+    # -- batch primitives ------------------------------------------------------
+
+    def resolve_many(self, keys: Sequence[str]) -> Resolution:
+        resolution = Resolution()
+        if not self.path.exists():
+            return resolution
+        conn = self._connection()
+        hits = resolution.hits
+        make = EntryMeta._make
+        for chunk in _chunked(keys):
+            marks = ",".join("?" * len(chunk))
+            rows = conn.execute(
+                "SELECT key, schema_version, events_processed, sim_seconds "
+                f"FROM meta WHERE key IN ({marks})",
+                chunk,
+            ).fetchall()
+            for row in rows:
+                hits[row[0]] = make(row[1:])
+        return resolution
+
+    def load_many(self, keys: Sequence[str]) -> LoadResult:
+        result = LoadResult()
+        if not self.path.exists():
+            return result
+        conn = self._connection()
+        for chunk in _chunked(keys):
+            marks = ",".join("?" * len(chunk))
+            rows = conn.execute(
+                "SELECT m.key, m.schema_version, p.cell, m.events_processed, "
+                "m.sim_seconds, p.metrics FROM meta m "
+                "JOIN payloads p ON p.key = m.key "
+                f"WHERE m.key IN ({marks})",
+                chunk,
+            )
+            for key, schema, cell_text, events, sim_seconds, metrics_text in rows:
+                try:
+                    payload = {
+                        "schema": schema,
+                        "cell": json.loads(cell_text),
+                        "events_processed": events,
+                        "sim_seconds": sim_seconds,
+                        "metrics": json.loads(metrics_text),
+                    }
+                except (json.JSONDecodeError, UnicodeDecodeError, TypeError):
+                    result.corrupt.append(key)
+                    continue
+                result.payloads[key] = payload
+        return result
+
+    def put_many(self, items: Sequence[tuple[str, dict]]) -> None:
+        if not items:
+            return
+        meta_rows = []
+        payload_rows = []
+        for key, payload in items:
+            meta_rows.append(
+                (
+                    key,
+                    int(payload["schema"]),
+                    int(payload["events_processed"]),
+                    float(payload["sim_seconds"]),
+                )
+            )
+            payload_rows.append(
+                (
+                    key,
+                    json.dumps(
+                        payload["cell"], sort_keys=True, separators=(",", ":")
+                    ),
+                    json.dumps(payload["metrics"]),
+                )
+            )
+        conn = self._connection()
+        with conn:  # one transaction per batch, both tables or neither
+            conn.executemany(
+                "INSERT OR REPLACE INTO meta VALUES (?,?,?,?)", meta_rows
+            )
+            conn.executemany(
+                "INSERT OR REPLACE INTO payloads VALUES (?,?,?)", payload_rows
+            )
+
+    def delete_many(self, keys: Sequence[str]) -> int:
+        if not self.path.exists():
+            return 0
+        conn = self._connection()
+        removed = 0
+        with conn:
+            for chunk in _chunked(keys):
+                marks = ",".join("?" * len(chunk))
+                cursor = conn.execute(
+                    f"DELETE FROM meta WHERE key IN ({marks})", chunk
+                )
+                removed += cursor.rowcount
+                conn.execute(f"DELETE FROM payloads WHERE key IN ({marks})", chunk)
+        return removed
+
+    def keys(self) -> list[str]:
+        if not self.path.exists():
+            return []
+        return [row[0] for row in self._connection().execute("SELECT key FROM meta")]
+
+    # -- facts -----------------------------------------------------------------
+
+    def count(self) -> int:
+        if not self.path.exists():
+            return 0
+        [[n]] = self._connection().execute("SELECT COUNT(*) FROM meta")
+        return n
+
+    def size_bytes(self) -> int:
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total += os.stat(f"{self.path}{suffix}").st_size
+            except OSError:
+                pass
+        return total
+
+
+def _chunked(keys: Sequence[str]) -> list[Sequence[str]]:
+    keys = list(keys)
+    return [keys[i : i + _SELECT_CHUNK] for i in range(0, len(keys), _SELECT_CHUNK)]

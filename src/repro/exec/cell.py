@@ -118,6 +118,26 @@ class Cell:
             **payload["options"],
         )
 
+    def __hash__(self) -> int:
+        # Cells key every hot mapping in the execution layer (store
+        # memory layer, chain grouping, bulk cache resolution), and the
+        # generated dataclass hash recursively hashes the spec each call;
+        # computing it once per instance is measurable at grid scale.
+        try:
+            return self._hash_value
+        except AttributeError:
+            value = hash((self.spec, self.kind, self.priority, self.options))
+            object.__setattr__(self, "_hash_value", value)
+            return value
+
+    def __getstate__(self):
+        # The cached hash must not travel to other processes: str hashes
+        # depend on the interpreter's hash seed, which a spawned worker
+        # does not share.
+        state = dict(self.__dict__)
+        state.pop("_hash_value", None)
+        return state
+
     def content_hash(self) -> str:
         """Stable sha256 hex digest of this cell's content.
 
@@ -137,7 +157,7 @@ class Cell:
         )
 
 
-@lru_cache(maxsize=16384)
+@lru_cache(maxsize=1 << 17)
 def _content_hash(cell: Cell) -> str:
     payload = {"schema": CACHE_SCHEMA_VERSION, "cell": cell.to_payload()}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -39,7 +39,14 @@ from repro.errors import SimulationError
 from repro.exec.cell import Cell
 from repro.exec.store import StoredResult
 
-__all__ = ["ChainStats", "chain_key", "plan_chains", "run_chain", "simulate_chunk_chained"]
+__all__ = [
+    "ChainStats",
+    "chain_key",
+    "plan_chains",
+    "run_chain",
+    "run_chain_groups",
+    "simulate_chunk_chained",
+]
 
 
 @dataclass
@@ -186,6 +193,26 @@ def run_chain(
     return list(zip(group, results))
 
 
+def run_chain_groups(
+    cells: Sequence[Cell],
+    stats: ChainStats,
+    commit=None,
+):
+    """Plan chains over ``cells`` and execute every group, yielding pairs.
+
+    ``commit``, when given, receives each completed group's
+    ``[(cell, stored), ...]`` list as soon as the group finishes — the
+    executor passes the store's ``put_many`` here, so results persist in
+    one write batch per chain group instead of one write per cell, and a
+    killed sweep keeps everything up to the last whole group.
+    """
+    for group in plan_chains(cells):
+        pairs = run_chain(group, stats)
+        if commit is not None:
+            commit(pairs)
+        yield from pairs
+
+
 def simulate_chunk_chained(
     cells: Sequence[Cell],
 ) -> tuple[list[StoredResult], ChainStats]:
@@ -193,11 +220,9 @@ def simulate_chunk_chained(
 
     The executor packs whole chain groups into chunks, so re-planning
     inside the worker recovers exactly the parent's groups for this
-    chunk.
+    chunk.  No commit callback: the store lives in the parent, which
+    batches the whole chunk's results on receipt.
     """
     stats = ChainStats()
-    by_cell: dict[Cell, StoredResult] = {}
-    for group in plan_chains(cells):
-        for cell, stored in run_chain(group, stats):
-            by_cell[cell] = stored
+    by_cell: dict[Cell, StoredResult] = dict(run_chain_groups(cells, stats))
     return [by_cell[cell] for cell in cells], stats

@@ -1,9 +1,13 @@
 """The cell executor: fan simulation cells out over worker processes.
 
 :class:`CellExecutor` takes a batch of :class:`~repro.exec.cell.Cell`
-work items, answers what it can from its :class:`ResultStore`, and
-simulates the rest — serially for ``max_workers=1``, otherwise over a
-``concurrent.futures.ProcessPoolExecutor``.  Guarantees:
+work items, answers what it can from its :class:`ResultStore` — the
+entire batch's cache state settles in **one** bulk ``get_many`` query,
+so the disk backend never sees a per-cell probe — and simulates the
+rest, serially for ``max_workers=1``, otherwise over a
+``concurrent.futures.ProcessPoolExecutor``.  Fresh results are committed
+back through ``put_many`` in batches (one per chain group serially, one
+per dispatch chunk in parallel).  Guarantees:
 
 * **deterministic results** — output order matches input order, and the
   simulation itself is seeded, so the parallel path returns float-
@@ -47,7 +51,7 @@ from repro.exec.cell import Cell
 from repro.exec.chains import (
     ChainStats,
     plan_chains,
-    run_chain,
+    run_chain_groups,
     simulate_chunk_chained,
 )
 from repro.exec.store import ResultStore, StoredResult
@@ -118,6 +122,10 @@ class ExecutionReport:
     chain_forks: int = 0
     #: Chains that fell back to independent simulation.
     chain_fallbacks: int = 0
+    #: Damaged cache entries the store dropped while serving this batch.
+    corrupt_dropped: int = 0
+    #: Schema-stale cache entries dropped (clean turnover, not damage).
+    stale_dropped: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -152,6 +160,8 @@ class ExecutionReport:
         self.chained_cells += other.chained_cells
         self.chain_forks += other.chain_forks
         self.chain_fallbacks += other.chain_fallbacks
+        self.corrupt_dropped += other.corrupt_dropped
+        self.stale_dropped += other.stale_dropped
 
     def render(self) -> str:
         """One-line human summary used by progress/summary printers."""
@@ -167,6 +177,11 @@ class ExecutionReport:
             line += (
                 f" | {self.chains} chains ({self.chained_cells} cells, "
                 f"{self.chain_forks} forks)"
+            )
+        if self.corrupt_dropped or self.stale_dropped:
+            line += (
+                f" | cache dropped {self.corrupt_dropped} corrupt"
+                f" + {self.stale_dropped} stale"
             )
         return line
 
@@ -252,17 +267,16 @@ class CellExecutor:
         started = time.perf_counter()
         report = ExecutionReport(cells_total=len(ordered))
         self.last_report = report
+        corrupt_before = self.store.stats.corrupt_dropped
+        stale_before = self.store.stats.stale_dropped
 
-        resolved: dict[Cell, StoredResult] = {}
-        misses: list[Cell] = []
-        for cell in dict.fromkeys(ordered):
-            stored = self.store.get(cell)
-            if stored is not None:
-                resolved[cell] = stored
-                report.cache_hits += 1
-                report.completed += 1
-            else:
-                misses.append(cell)
+        # Settle the whole batch's cache state in one store query — the
+        # disk backend sees O(1) bulk calls, never a per-cell probe.
+        unique = list(dict.fromkeys(ordered))
+        resolved = self.store.get_many(unique)
+        misses = [cell for cell in unique if cell not in resolved]
+        report.cache_hits = len(resolved)
+        report.completed = len(resolved)
         report.elapsed_seconds = time.perf_counter() - started
         if report.completed:
             self._emit(report)
@@ -273,11 +287,14 @@ class CellExecutor:
                 runner = self._run_serial
             else:
                 runner = self._run_parallel
+            # Runners commit results to the store themselves, one write
+            # batch per chain group / dispatch chunk.
             for cell, stored in runner(misses, report, started, sim_started):
-                self.store.put(cell, stored)
                 resolved[cell] = stored
             report.sim_elapsed_seconds = time.perf_counter() - sim_started
 
+        report.corrupt_dropped = self.store.stats.corrupt_dropped - corrupt_before
+        report.stale_dropped = self.store.stats.stale_dropped - stale_before
         report.elapsed_seconds = time.perf_counter() - started
         self.session.absorb(report)
         return [resolved[cell].metrics for cell in ordered]
@@ -294,16 +311,18 @@ class CellExecutor:
         out = []
         if self.use_chains and len(misses) > 1:
             stats = ChainStats()
-            for group in plan_chains(misses):
-                for cell, stored in run_chain(group, stats):
-                    out.append((cell, stored))
-                    self._note_simulated(report, stored, started, sim_started)
+            for cell, stored in run_chain_groups(
+                misses, stats, commit=self.store.put_many
+            ):
+                out.append((cell, stored))
+                self._note_simulated(report, stored, started, sim_started)
             self._fold_chain_stats(report, stats)
             return out
         for cell in misses:
             stored = simulate_cell(cell)
             out.append((cell, stored))
             self._note_simulated(report, stored, started, sim_started)
+        self.store.put_many(out)
         return out
 
     def _run_parallel(
@@ -316,6 +335,7 @@ class CellExecutor:
         attempts = {cell: 0 for cell in misses}
         queue = list(misses)
         out: dict[Cell, StoredResult] = {}
+        fallback_pairs: list[tuple[Cell, StoredResult]] = []
         pool = self._make_pool(min(self.max_workers, len(misses)), misses)
         try:
             while queue:
@@ -345,6 +365,7 @@ class CellExecutor:
                             if attempts[cell] > self.max_retries:
                                 stored = simulate_cell(cell)  # in-process fallback
                                 out[cell] = stored
+                                fallback_pairs.append((cell, stored))
                                 self._note_simulated(
                                     report, stored, started, sim_started
                                 )
@@ -362,6 +383,9 @@ class CellExecutor:
                         self._fold_chain_stats(report, chunk_stats)
                     else:
                         storeds = result
+                    # One store write batch per completed chunk: results
+                    # persist as the sweep streams in, not all at the end.
+                    self.store.put_many(list(zip(chunk, storeds)))
                     for cell, stored in zip(chunk, storeds):
                         out[cell] = stored
                         self._note_simulated(report, stored, started, sim_started)
@@ -370,6 +394,8 @@ class CellExecutor:
                     pool = self._make_pool(min(self.max_workers, len(queue)), queue)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+        if fallback_pairs:
+            self.store.put_many(fallback_pairs)
         return [(cell, out[cell]) for cell in misses]
 
     # -- dispatch helpers -----------------------------------------------------

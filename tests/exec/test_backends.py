@@ -1,0 +1,252 @@
+"""Backend differential suite: every disk layout must serve identical results.
+
+The store front owns all semantic judgment (schema staleness, cell
+verification, metrics decoding), so the JSON, SQLite, and shard backends
+must be interchangeable: same hits, same digests, same stale/corrupt
+classification, and ``migrate_store`` between any pair must preserve
+every entry.  These tests drive each backend through the public
+:class:`ResultStore` API plus targeted backend-level corruption.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import (
+    Cell,
+    CellExecutor,
+    ResultStore,
+    StoredResult,
+    metrics_digest,
+    migrate_store,
+    plan_chains,
+    simulate_cell,
+)
+from repro.exec.backends import BACKENDS, detect_backend, make_backend
+from repro.experiments.config import WorkloadSpec
+
+CELLS = [
+    Cell(WorkloadSpec("CTC", 60, seed=2, load_scale=0.75), "easy", "FCFS"),
+    Cell(WorkloadSpec("CTC", 60, seed=2, load_scale=0.75), "cons", "SJF"),
+    Cell(WorkloadSpec("CTC", 45, seed=5, load_scale=0.75, estimate="r2"), "nobf", "FCFS"),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {cell: simulate_cell(cell) for cell in CELLS}
+
+
+def fill(tmp_path, backend, results):
+    store = ResultStore(cache_dir=tmp_path / backend, backend=backend)
+    store.put_many(results.items())
+    return store
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+class TestEachBackend:
+    def test_round_trip_is_digest_identical(self, backend, tmp_path, results):
+        fill(tmp_path, backend, results)
+        fresh = ResultStore(cache_dir=tmp_path / backend, backend=backend)
+        loaded = fresh.get_many(CELLS)
+        assert len(loaded) == len(CELLS)
+        assert fresh.stats.disk_hits == len(CELLS)
+        for cell, stored in loaded.items():
+            assert metrics_digest(stored.metrics) == metrics_digest(
+                results[cell].metrics
+            )
+            assert stored.events_processed == results[cell].events_processed
+            assert stored.sim_seconds == results[cell].sim_seconds
+
+    def test_resolve_many_reports_bookkeeping_without_decoding(
+        self, backend, tmp_path, results
+    ):
+        fill(tmp_path, backend, results)
+        fresh = ResultStore(cache_dir=tmp_path / backend, backend=backend)
+        missing = Cell(WorkloadSpec("CTC", 33, seed=9, load_scale=0.75), "easy", "FCFS")
+        resolved = fresh.resolve_many(CELLS + [missing])
+        assert set(resolved) == set(CELLS)
+        for cell, (events, sim_seconds) in resolved.items():
+            assert events == results[cell].events_processed
+            assert sim_seconds == results[cell].sim_seconds
+        assert len(fresh) == 0  # nothing was promoted into memory
+
+    def test_entry_count_and_size(self, backend, tmp_path, results):
+        store = fill(tmp_path, backend, results)
+        assert store.entry_count() == len(CELLS)
+        assert store.size_bytes() > 0
+        assert store.backend_kind == backend
+
+    def test_schema_mismatch_is_stale_and_reaped(self, backend, tmp_path, results):
+        store = fill(tmp_path, backend, results)
+        key = CELLS[0].content_hash()
+        [payload] = store.backend.load_many([key]).payloads.values()
+        payload["schema"] = 999
+        store.backend.put_many([(key, payload)])
+        fresh = ResultStore(cache_dir=tmp_path / backend, backend=backend)
+        assert fresh.get(CELLS[0]) is None
+        assert fresh.stats.stale_dropped == 1
+        assert fresh.stats.corrupt_dropped == 0
+        assert fresh.entry_count() == len(CELLS) - 1  # deleted on sight
+
+    def test_wrong_cell_payload_is_corrupt(self, backend, tmp_path, results):
+        store = fill(tmp_path, backend, results)
+        # Plant CELLS[1]'s payload under CELLS[0]'s key: identity check fails.
+        key = CELLS[0].content_hash()
+        [other] = store.backend.load_many([CELLS[1].content_hash()]).payloads.values()
+        store.backend.put_many([(key, other)])
+        fresh = ResultStore(cache_dir=tmp_path / backend, backend=backend)
+        assert fresh.get(CELLS[0]) is None
+        assert fresh.stats.corrupt_dropped == 1
+        assert fresh.stats.stale_dropped == 0
+
+    def test_delete_and_rewrite_serve_the_newest(self, backend, tmp_path, results):
+        store = fill(tmp_path, backend, results)
+        key = CELLS[0].content_hash()
+        [payload] = store.backend.load_many([key]).payloads.values()
+        payload["events_processed"] = 123456
+        store.backend.put_many([(key, payload)])  # rewrite: newest wins
+        fresh = ResultStore(cache_dir=tmp_path / backend, backend=backend)
+        assert fresh.get(CELLS[0]).events_processed == 123456
+        assert fresh.backend.delete_many([key]) == 1
+        assert fresh.backend.delete_many([key]) == 0
+        assert fresh.entry_count() == len(CELLS) - 1
+
+    def test_gc_sweeps_stale_entries(self, backend, tmp_path, results):
+        store = fill(tmp_path, backend, results)
+        key = CELLS[2].content_hash()
+        [payload] = store.backend.load_many([key]).payloads.values()
+        payload["schema"] = 0
+        store.backend.put_many([(key, payload)])
+        fresh = ResultStore(cache_dir=tmp_path / backend, backend=backend)
+        preview = fresh.gc(dry_run=True)
+        assert (preview.kept, preview.stale_removed) == (len(CELLS) - 1, 1)
+        assert fresh.entry_count() == len(CELLS)  # dry run deleted nothing
+        report = fresh.gc()
+        assert (report.kept, report.stale_removed) == (len(CELLS) - 1, 1)
+        assert fresh.entry_count() == len(CELLS) - 1
+
+
+class TestCrossBackendEquivalence:
+    def test_all_backends_serve_identical_digests(self, tmp_path, results):
+        digests = {}
+        for backend in sorted(BACKENDS):
+            fill(tmp_path, backend, results)
+            fresh = ResultStore(cache_dir=tmp_path / backend, backend=backend)
+            digests[backend] = {
+                cell.content_hash(): metrics_digest(stored.metrics)
+                for cell, stored in fresh.get_many(CELLS).items()
+            }
+        reference = digests.pop("json")
+        for backend, seen in digests.items():
+            assert seen == reference, f"{backend} diverged from json"
+
+    @pytest.mark.parametrize(
+        "src,dst",
+        [("json", "sqlite"), ("json", "shard"), ("sqlite", "shard"), ("shard", "json")],
+    )
+    def test_migrate_preserves_every_entry(self, src, dst, tmp_path, results):
+        source = fill(tmp_path, src, results)
+        dest = ResultStore(cache_dir=tmp_path / f"to_{dst}", backend=dst)
+        assert migrate_store(source, dest) == len(CELLS)
+        fresh = ResultStore(cache_dir=tmp_path / f"to_{dst}", backend=dst)
+        loaded = fresh.get_many(CELLS)
+        assert len(loaded) == len(CELLS)
+        assert fresh.stats.stale_dropped == fresh.stats.corrupt_dropped == 0
+        for cell, stored in loaded.items():
+            assert metrics_digest(stored.metrics) == metrics_digest(
+                results[cell].metrics
+            )
+
+    def test_migrate_requires_disk_stores(self, tmp_path, results):
+        disk = fill(tmp_path, "json", results)
+        with pytest.raises(ValueError):
+            migrate_store(ResultStore(), disk)
+        with pytest.raises(ValueError):
+            migrate_store(disk, ResultStore())
+
+
+class TestBackendSelection:
+    def test_fresh_directory_defaults_to_json(self, tmp_path):
+        assert detect_backend(tmp_path) == "json"
+        assert ResultStore(cache_dir=tmp_path).backend_kind == "json"
+
+    def test_existing_layouts_are_sniffed(self, tmp_path, results):
+        for backend in ("sqlite", "shard"):
+            fill(tmp_path, backend, results)
+            sniffed = ResultStore(cache_dir=tmp_path / backend)
+            assert sniffed.backend_kind == backend
+            assert len(sniffed.get_many(CELLS)) == len(CELLS)
+
+    def test_unknown_backend_name_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            make_backend("zip", tmp_path)
+        with pytest.raises(ConfigurationError):
+            ResultStore(cache_dir=tmp_path, backend="zip")
+
+
+class TestMemoryLimit:
+    def test_lru_evicts_oldest_beyond_cap(self, results):
+        store = ResultStore(memory_limit=2)
+        a, b, c = CELLS
+        store.put(a, results[a])
+        store.put(b, results[b])
+        assert store.get(a) is results[a]  # refresh a: b is now oldest
+        store.put(c, results[c])
+        assert len(store) == 2
+        assert store.get(b) is None
+        assert store.get(a) is results[a]
+        assert store.get(c) is results[c]
+
+    def test_disk_layer_outlives_eviction(self, tmp_path, results):
+        store = ResultStore(cache_dir=tmp_path, memory_limit=1)
+        store.put_many(results.items())
+        assert len(store) == 1  # only the newest survives in memory
+        for cell in CELLS:  # ...but every cell reloads from disk
+            assert store.get(cell) is not None
+
+    def test_invalid_limit_is_rejected(self):
+        with pytest.raises(ValueError):
+            ResultStore(memory_limit=0)
+
+
+class TestExecutorBulkResolution:
+    def test_warm_batch_costs_one_backend_query(self, tmp_path, results):
+        fill(tmp_path, "sqlite", results)
+        store = ResultStore(cache_dir=tmp_path / "sqlite")
+        calls = {"load": 0, "resolve": 0}
+        inner_load = store.backend.load_many
+        inner_resolve = store.backend.resolve_many
+
+        def counting_load(keys):
+            calls["load"] += 1
+            return inner_load(keys)
+
+        def counting_resolve(keys):
+            calls["resolve"] += 1
+            return inner_resolve(keys)
+
+        store.backend.load_many = counting_load
+        store.backend.resolve_many = counting_resolve
+        executor = CellExecutor(store=store)
+        executor.execute(CELLS)
+        assert executor.last_report.cache_hits == len(CELLS)
+        assert executor.last_report.simulated == 0
+        assert calls["load"] + calls["resolve"] == 1
+
+    def test_serial_misses_commit_one_batch_per_chain_group(self, tmp_path):
+        cells = [
+            Cell(WorkloadSpec("CTC", n_jobs, seed=2, load_scale=0.75), "easy", "FCFS")
+            for n_jobs in (30, 45, 60)
+        ] + [Cell(WorkloadSpec("CTC", 30, seed=7, load_scale=0.75), "cons", "FCFS")]
+        store = ResultStore(cache_dir=tmp_path, backend="shard")
+        calls = {"put": 0}
+        inner_put = store.backend.put_many
+
+        def counting_put(items):
+            calls["put"] += 1
+            return inner_put(items)
+
+        store.backend.put_many = counting_put
+        CellExecutor(store=store).execute(cells)
+        assert calls["put"] == len(plan_chains(cells))
+        assert store.entry_count() == len(cells)

@@ -89,7 +89,7 @@ class TestCorruptionTolerance:
         assert fresh.get(CELL) is None
         assert fresh.stats.corrupt_dropped == 1
 
-    def test_schema_mismatch_is_a_miss(self, stored, tmp_path):
+    def test_schema_mismatch_is_stale_not_corrupt(self, stored, tmp_path):
         store = ResultStore(cache_dir=tmp_path)
         store.put(CELL, stored)
         path = store.path_for(CELL)
@@ -98,7 +98,9 @@ class TestCorruptionTolerance:
         path.write_text(json.dumps(payload))
         fresh = ResultStore(cache_dir=tmp_path)
         assert fresh.get(CELL) is None
-        assert fresh.stats.corrupt_dropped == 1
+        assert fresh.stats.stale_dropped == 1
+        assert fresh.stats.corrupt_dropped == 0
+        assert not path.exists()  # stale entries are reaped like corrupt ones
 
     def test_wrong_cell_payload_is_a_miss(self, stored, tmp_path):
         # A hash collision (or a hand-renamed file) must not serve the

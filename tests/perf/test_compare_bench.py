@@ -17,6 +17,17 @@ class TestThroughputLeaves:
         payload = {"legs": [{"a_events_per_second": 1.0}], "n_cells": 90}
         assert throughput_leaves(payload) == {"legs[0].a_events_per_second": 1.0}
 
+    def test_any_per_second_suffix_is_gated(self):
+        payload = {
+            "cells_per_second": 2.0,
+            "warm_resolve_cells_per_second": 3.0,
+            "sim_seconds": 4.0,  # not a rate: must not be gated
+        }
+        assert throughput_leaves(payload) == {
+            "cells_per_second": 2.0,
+            "warm_resolve_cells_per_second": 3.0,
+        }
+
 
 class TestSchemaWarnings:
     def test_identical_payloads_warn_nothing(self):

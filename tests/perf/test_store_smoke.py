@@ -1,0 +1,59 @@
+"""Perf smoke test: batch-native backends must beat JSON at warm resolve.
+
+Runs a small slice of the ``benchmarks/bench_store.py`` grid (3k cells
+instead of 100k, one shared small result) and asserts that the better of
+SQLite/shard resolves the warm grid faster than the JSON-per-file
+baseline at all — a deliberately generous floor far below the order-of-
+magnitude ratios the full benchmark records, so only a lost optimization
+(e.g. resolution quietly re-reading full payloads) trips it, not CI
+jitter.  Real numbers belong to ``benchmarks/bench_store.py`` +
+``benchmarks/compare_bench.py``.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec import Cell, ResultStore, simulate_cell
+from repro.experiments.config import WorkloadSpec
+
+from benchmarks.bench_store import synthetic_cells
+
+N_CELLS = 3_000
+WRITE_BATCH = 1_000
+
+#: The full benchmark shows >=10x for the best backend; require only
+#: "faster than JSON at all" so a noisy runner cannot false-alarm.
+MIN_SPEEDUP = 1.0
+
+
+@pytest.mark.perf
+def test_batch_backends_beat_json_at_warm_resolve(tmp_path):
+    cells = synthetic_cells(N_CELLS)
+    for cell in cells:
+        cell.content_hash()
+    stored = simulate_cell(
+        Cell(WorkloadSpec("CTC", 25, seed=1, load_scale=0.75), "easy", "FCFS")
+    )
+
+    seconds = {}
+    for backend in ("json", "sqlite", "shard"):
+        cache_dir = Path(tmp_path) / backend
+        writer = ResultStore(cache_dir=cache_dir, backend=backend)
+        for lo in range(0, N_CELLS, WRITE_BATCH):
+            writer.put_many((cell, stored) for cell in cells[lo : lo + WRITE_BATCH])
+        assert writer.entry_count() == N_CELLS
+
+        warm = ResultStore(cache_dir=cache_dir, backend=backend)
+        started = time.perf_counter()
+        resolved = warm.resolve_many(cells)
+        seconds[backend] = time.perf_counter() - started
+        assert len(resolved) == N_CELLS
+
+    best = min(seconds["sqlite"], seconds["shard"])
+    assert seconds["json"] > best * MIN_SPEEDUP, (
+        f"batch-native resolve no longer beats JSON: json {seconds['json']:.3f}s "
+        f"vs best {best:.3f}s; run benchmarks/bench_store.py and compare "
+        "against the checked-in BENCH_store.json"
+    )

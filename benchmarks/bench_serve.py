@@ -1,0 +1,228 @@
+"""Serve-layer benchmark: sustained what-if queries against a live session.
+
+The serve layer (``repro.serve``) answers "what if I submitted this job
+now?" by snapshot-forking the live :class:`~repro.sim.engine.Simulator`
+and draining the branch — the live session itself is never disturbed.
+This benchmark measures what that costs at steady state, against a
+deliberately congested session (SDSC trace at 1.4x offered load, paused
+three quarters of the way through the stream, with a deep queue):
+
+* **what-if leg** — sustained full-drain ``Session.what_if`` queries/s,
+  with per-query p50/p99 latency.  Each query forks, simulates the
+  entire remaining workload plus the hypothetical job, and discards the
+  branch; this is the expensive query the service exists to serve.
+* **forecast leg** — ``Session.queue_forecast`` at a 4h horizon: the
+  cheap bounded-lookahead query (fork, advance ``horizon`` seconds,
+  report machine/queue state).
+* **HTTP leg** — the same what-if posted through the stdlib HTTP
+  front-end (``repro.serve.make_server``) from concurrent client
+  threads; forks serialize under the session lock but branch drains
+  overlap, so this should stay within a small factor of the in-process
+  rate times the thread count's benefit.
+* **ingest leg** — raw ``submit`` + ``advance`` throughput for the whole
+  stream (jobs/s into the lockstep engines).
+
+Bounded-memory witness: the live session runs in ``metrics="bounded"``
+mode, so after the full stream the sink holds **zero** completed-job
+records (``records_held == 0``) at both N and 2N jobs — aggregates and
+quantile sketches only — while an ``exact`` twin holds one record per
+completed job.  Both counts land in the payload.
+
+Results land in ``benchmarks/BENCH_serve.json``; keys ending
+``_per_second`` are gated by ``benchmarks/compare_bench.py``.  Query
+count scales down via ``BENCH_SERVE_QUERIES`` for quick CI runs.
+"""
+
+import json
+import os
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.experiments.config import WorkloadSpec
+from repro.experiments.runner import make_workload
+from repro.serve import Session, make_server
+
+TRACE = "SDSC"
+N_JOBS = 600
+SEED = 11
+LOAD_SCALE = 1.4
+ESTIMATE = "user"
+SCHEDULER = "easy"
+
+#: Pause point, as a fraction of the last arrival time — chosen where
+#: this trace/seed/load combination has its deepest backlog, so queries
+#: answer against a genuinely contended machine.
+FORK_FRACTION = 0.75
+
+#: Hypothetical-job horizon for the forecast leg (seconds).
+FORECAST_HORIZON = 4 * 3600.0
+
+QUERIES = int(os.environ.get("BENCH_SERVE_QUERIES", "64"))
+HTTP_THREADS = 8
+REPS = 3
+
+#: Sanity floor for the full-drain query rate — an order of magnitude
+#: below the measured rate, so only a lost optimization (e.g. snapshots
+#: deep-copying the workload again) trips it, never host noise.
+WHAT_IF_FLOOR_PER_SECOND = 5.0
+
+
+def loaded_session(metrics="bounded", n_jobs=N_JOBS):
+    """A live session paused mid-stream with a contended queue."""
+    workload = make_workload(
+        WorkloadSpec(TRACE, n_jobs, SEED, LOAD_SCALE, ESTIMATE)
+    )
+    session = Session(
+        workload.max_procs, scheduler=SCHEDULER, metrics=metrics, name="bench"
+    )
+    started = time.perf_counter()
+    for job in workload.jobs:
+        session.submit(job)
+    session.advance(workload.jobs[-1].submit_time * FORK_FRACTION)
+    return session, time.perf_counter() - started, len(workload.jobs)
+
+
+def query_args(index):
+    """Deterministically varied what-if jobs (no RNG in the timed loop)."""
+    return {
+        "runtime": 600.0 + 300.0 * (index % 12),
+        "procs": 1 + index % 32,
+    }
+
+
+def _timed_leg(run_query):
+    """Run QUERIES queries, returning (seconds, per-query latencies)."""
+    latencies = []
+    started = time.perf_counter()
+    for index in range(QUERIES):
+        t0 = time.perf_counter()
+        run_query(index)
+        latencies.append(time.perf_counter() - t0)
+    return time.perf_counter() - started, latencies
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def _quantile_ms(latencies, q):
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))] * 1000.0
+
+
+def _http_leg(session):
+    """Concurrent what-ifs through the HTTP front-end; returns seconds."""
+    server = make_server(session)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}/what-if"
+    errors = []
+
+    def worker(indices):
+        try:
+            for index in indices:
+                body = json.dumps({"job": query_args(index)}).encode("utf-8")
+                request = urllib.request.Request(
+                    url, data=body, headers={"Content-Type": "application/json"}
+                )
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    payload = json.loads(response.read())
+                assert payload["target"]["start_time"] >= payload["asked_at"]
+        except Exception as exc:  # surfaced after join
+            errors.append(exc)
+
+    lanes = [list(range(lane, QUERIES, HTTP_THREADS)) for lane in range(HTTP_THREADS)]
+    started = time.perf_counter()
+    threads = [threading.Thread(target=worker, args=(lane,)) for lane in lanes]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seconds = time.perf_counter() - started
+    server.shutdown()
+    server.server_close()
+    if errors:
+        raise errors[0]
+    return seconds
+
+
+def test_serve_writes_bench_json():
+    """Sustained query throughput + latency -> BENCH_serve.json."""
+    session, ingest_seconds, n_submitted = loaded_session()
+    before = session.stats()
+    assert before.queued > 0, "bench session must pause with a backlog"
+
+    what_if_times, what_if_latencies = [], []
+    forecast_times, forecast_latencies = [], []
+    for _ in range(REPS):
+        seconds, latencies = _timed_leg(
+            lambda i: session.what_if(**query_args(i))
+        )
+        what_if_times.append(seconds)
+        what_if_latencies = latencies
+        seconds, latencies = _timed_leg(
+            lambda i: session.queue_forecast(FORECAST_HORIZON)
+        )
+        forecast_times.append(seconds)
+        forecast_latencies = latencies
+    what_if_seconds = _median(what_if_times)
+    forecast_seconds = _median(forecast_times)
+
+    # Queries must be pure: thousands of forks later the live session is
+    # bit-for-bit where it paused.
+    after = session.stats()
+    assert after == before, "what-if queries disturbed the live session"
+
+    http_seconds = _http_leg(session)
+    assert session.stats() == before, "HTTP queries disturbed the live session"
+
+    # Bounded-memory witness: zero records held at N and 2N jobs, while
+    # the exact twin holds one record per completion.
+    assert before.records_held == 0
+    doubled, _, _ = loaded_session(n_jobs=2 * N_JOBS)
+    assert doubled.stats().records_held == 0
+    exact, _, _ = loaded_session(metrics="exact")
+    assert exact.stats().records_held == exact.stats().completed > 0
+
+    what_if_rate = QUERIES / what_if_seconds
+    payload = {
+        "schema": 1,
+        "trace": TRACE,
+        "n_jobs": N_JOBS,
+        "seed": SEED,
+        "load_scale": LOAD_SCALE,
+        "estimate": ESTIMATE,
+        "scheduler": SCHEDULER,
+        "fork_fraction": FORK_FRACTION,
+        "queries": QUERIES,
+        "reps": REPS,
+        "http_threads": HTTP_THREADS,
+        "cpu_count": os.cpu_count() or 1,
+        "queued_at_fork": before.queued,
+        "running_at_fork": before.running,
+        "completed_at_fork": before.completed,
+        "ingest_jobs_per_second": round(n_submitted / ingest_seconds, 1),
+        "what_if_queries_per_second": round(what_if_rate, 2),
+        "what_if_p50_ms": round(_quantile_ms(what_if_latencies, 0.50), 3),
+        "what_if_p99_ms": round(_quantile_ms(what_if_latencies, 0.99), 3),
+        "forecast_queries_per_second": round(QUERIES / forecast_seconds, 2),
+        "forecast_p50_ms": round(_quantile_ms(forecast_latencies, 0.50), 3),
+        "forecast_p99_ms": round(_quantile_ms(forecast_latencies, 0.99), 3),
+        "http_what_if_queries_per_second": round(QUERIES / http_seconds, 2),
+        "bounded_records_held": before.records_held,
+        "bounded_records_held_2x_jobs": doubled.stats().records_held,
+        "exact_records_held": exact.stats().records_held,
+    }
+
+    out = Path(__file__).parent / "BENCH_serve.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    assert what_if_rate >= WHAT_IF_FLOOR_PER_SECOND, (
+        f"full-drain what-if rate collapsed: {what_if_rate:.1f}/s "
+        f"(floor {WHAT_IF_FLOOR_PER_SECOND}/s); compare against the "
+        "checked-in BENCH_serve.json with benchmarks/compare_bench.py"
+    )

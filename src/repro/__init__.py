@@ -90,8 +90,18 @@ from repro.grid import (
 from repro.preempt import PreemptiveSimulator, SelectiveSuspensionScheduler
 from repro.metrics.categories import Category, EstimateQuality, categorize, estimate_quality
 from repro.metrics.collector import CompletedJob, RunMetrics, summarize
-from repro.exec import Cell, CellExecutor, ExecutionReport, ResultStore, run_cells
+from repro.metrics.streaming import StreamingMetrics
+from repro.exec import (
+    Cell,
+    CellExecutor,
+    ExecConfig,
+    ExecutionReport,
+    ResultStore,
+    run_cells,
+    set_default_executor,
+)
 from repro.experiments.config import WorkloadSpec
+from repro.serve import AsyncSession, Session, WhatIfReport
 
 __all__ = [
     "__version__",
@@ -180,11 +190,18 @@ __all__ = [
     "CompletedJob",
     "RunMetrics",
     "summarize",
+    "StreamingMetrics",
     # execution (Cell API)
     "Cell",
     "CellExecutor",
+    "ExecConfig",
+    "set_default_executor",
     "ExecutionReport",
     "ResultStore",
     "run_cells",
     "WorkloadSpec",
+    # serve (live sessions)
+    "Session",
+    "AsyncSession",
+    "WhatIfReport",
 ]

@@ -11,7 +11,15 @@ Subcommands:
 * ``characterize`` — print a workload's characterization statistics.
 * ``store`` — inspect and maintain a persistent result cache
   (``stats``, ``gc``, ``migrate``).
+* ``serve`` — run a live scheduler session behind the HTTP/JSON layer
+  (see :mod:`repro.serve`).
 * ``list`` — list available experiments, schedulers, and priorities.
+
+Flags shared between subcommands (the workload knobs, the experiment
+grid, the execution layer) are declared once as argparse *parent
+parsers* (:func:`_workload_parent`, :func:`_grid_parent`,
+:func:`_execution_parent`, :func:`_estimate_parent`) so every
+subcommand exposes the same spelling, defaults, and help text.
 """
 
 from __future__ import annotations
@@ -24,9 +32,11 @@ from repro._version import __version__
 from repro.errors import ReproError
 from repro.exec import (
     BACKEND_CHOICES,
+    Cell,
+    ExecConfig,
     ExecutionReport,
-    configure as configure_executor,
     run_cells,
+    set_default_executor,
 )
 from repro.experiments.config import DEFAULT_PARAMS, ExperimentParams
 from repro.experiments.registry import EXPERIMENTS, collect_cells, run_experiment
@@ -39,8 +49,56 @@ from repro.workload.swf import read_swf, write_swf
 __all__ = ["main", "build_parser"]
 
 
+_TRACE_CHOICES = ["CTC", "SDSC", "LUBLIN"]
+
+
+def _workload_parent(*, jobs_default: int = 2500) -> argparse.ArgumentParser:
+    """Parent parser: the single-workload knobs (``simulate`` /
+    ``generate`` / ``characterize`` share one spelling of
+    ``--trace/--jobs/--seed/--load-scale``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--trace", default="CTC", choices=_TRACE_CHOICES)
+    parent.add_argument("--jobs", type=int, default=jobs_default)
+    parent.add_argument("--seed", type=int, default=1)
+    parent.add_argument("--load-scale", type=float, default=1.0)
+    return parent
+
+
+def _estimate_parent() -> argparse.ArgumentParser:
+    """Parent parser: the user-estimate model flag (simulate/generate)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--estimate", default="exact", choices=["exact", "r2", "r4", "user"]
+    )
+    return parent
+
+
+def _grid_parent() -> argparse.ArgumentParser:
+    """Parent parser: the experiment-grid knobs (``experiment`` /
+    ``report`` share ``--jobs/--seeds/--load-scale/--traces``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--jobs", type=int, default=DEFAULT_PARAMS.n_jobs)
+    parent.add_argument(
+        "--seeds", type=int, nargs="+", default=list(DEFAULT_PARAMS.seeds)
+    )
+    parent.add_argument("--load-scale", type=float, default=DEFAULT_PARAMS.load_scale)
+    parent.add_argument(
+        "--traces", nargs="+", default=list(DEFAULT_PARAMS.traces),
+        choices=_TRACE_CHOICES,
+    )
+    return parent
+
+
+def _execution_parent() -> argparse.ArgumentParser:
+    """Parent parser: the execution-layer flags shared by ``experiment``,
+    ``report``, and ``simulate``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    _add_execution_flags(parent)
+    return parent
+
+
 def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
-    """The execution-layer flags shared by ``experiment`` and ``report``."""
+    """The execution-layer flag set (see :func:`_execution_parent`)."""
     subparser.add_argument(
         "--parallel",
         type=int,
@@ -85,20 +143,28 @@ def _add_execution_flags(subparser: argparse.ArgumentParser) -> None:
 
 
 def _configure_execution(args: argparse.Namespace):
-    """Shape the default executor from the parsed execution flags."""
+    """Install the default executor described by the execution flags.
+
+    The flags build a frozen :class:`~repro.exec.config.ExecConfig`
+    (whose constructor validates them) and hand it to
+    :func:`repro.exec.set_default_executor` — the CLI never touches the
+    deprecated ``configure()`` shim.
+    """
     if args.parallel < 1:
         raise ReproError(f"--parallel must be >= 1, got {args.parallel}")
     if args.chunk_size is not None and args.chunk_size < 1:
         raise ReproError(f"--chunk-size must be >= 1, got {args.chunk_size}")
     cache_dir = None if args.no_cache else args.cache_dir
     progress = _progress_printer() if sys.stderr.isatty() else None
-    return configure_executor(
-        parallel=args.parallel,
-        cache_dir=cache_dir,
-        progress=progress,
-        chunk_size=args.chunk_size,
-        use_chains=not args.no_chains,
-        store_backend=args.store_backend,
+    return set_default_executor(
+        ExecConfig(
+            parallel=args.parallel,
+            cache_dir=cache_dir,
+            progress=progress,
+            chunk_size=args.chunk_size,
+            use_chains=not args.no_chains,
+            store_backend=args.store_backend,
+        )
     )
 
 
@@ -130,74 +196,88 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    exp = sub.add_parser("experiment", help="run a paper experiment")
+    workload_parent = _workload_parent()
+    estimate_parent = _estimate_parent()
+    grid_parent = _grid_parent()
+    execution_parent = _execution_parent()
+
+    exp = sub.add_parser(
+        "experiment",
+        help="run a paper experiment",
+        parents=[grid_parent, execution_parent],
+    )
     exp.add_argument(
         "id",
         nargs="?",
         default="all",
         help=f"experiment id ({', '.join(EXPERIMENTS)}) or 'all'",
     )
-    exp.add_argument("--jobs", type=int, default=DEFAULT_PARAMS.n_jobs)
-    exp.add_argument(
-        "--seeds", type=int, nargs="+", default=list(DEFAULT_PARAMS.seeds)
-    )
-    exp.add_argument("--load-scale", type=float, default=DEFAULT_PARAMS.load_scale)
-    exp.add_argument(
-        "--traces", nargs="+", default=list(DEFAULT_PARAMS.traces),
-        choices=["CTC", "SDSC", "LUBLIN"],
-    )
-    _add_execution_flags(exp)
 
-    sim = sub.add_parser("simulate", help="simulate one workload/scheduler pair")
-    sim.add_argument("--trace", default="CTC", choices=["CTC", "SDSC", "LUBLIN"])
-    sim.add_argument("--swf", help="read the workload from an SWF file instead")
-    sim.add_argument("--jobs", type=int, default=2500)
-    sim.add_argument("--seed", type=int, default=1)
-    sim.add_argument("--load-scale", type=float, default=1.0)
-    sim.add_argument(
-        "--estimate", default="exact", choices=["exact", "r2", "r4", "user"]
+    sim = sub.add_parser(
+        "simulate",
+        help="simulate one workload/scheduler pair",
+        parents=[workload_parent, estimate_parent, execution_parent],
     )
+    sim.add_argument("--swf", help="read the workload from an SWF file instead")
     sim.add_argument("--scheduler", default="easy", choices=list(SCHEDULER_KINDS))
     sim.add_argument(
         "--priority", default="FCFS", choices=list(PRIORITY_POLICIES)
     )
 
-    gen = sub.add_parser("generate", help="write a synthetic workload as SWF")
-    gen.add_argument("output", help="destination .swf path")
-    gen.add_argument("--trace", default="CTC", choices=["CTC", "SDSC", "LUBLIN"])
-    gen.add_argument("--jobs", type=int, default=2500)
-    gen.add_argument("--seed", type=int, default=1)
-    gen.add_argument("--load-scale", type=float, default=1.0)
-    gen.add_argument(
-        "--estimate", default="exact", choices=["exact", "r2", "r4", "user"]
+    gen = sub.add_parser(
+        "generate",
+        help="write a synthetic workload as SWF",
+        parents=[workload_parent, estimate_parent],
     )
+    gen.add_argument("output", help="destination .swf path")
 
     report = sub.add_parser(
-        "report", help="run experiments and write a results directory"
+        "report",
+        help="run experiments and write a results directory",
+        parents=[grid_parent, execution_parent],
     )
     report.add_argument("output", help="destination directory")
     report.add_argument(
         "ids", nargs="*", default=[], help="experiment ids (default: all)"
     )
-    report.add_argument("--jobs", type=int, default=DEFAULT_PARAMS.n_jobs)
-    report.add_argument(
-        "--seeds", type=int, nargs="+", default=list(DEFAULT_PARAMS.seeds)
-    )
-    report.add_argument("--load-scale", type=float, default=DEFAULT_PARAMS.load_scale)
-    report.add_argument(
-        "--traces", nargs="+", default=list(DEFAULT_PARAMS.traces),
-        choices=["CTC", "SDSC", "LUBLIN"],
-    )
-    _add_execution_flags(report)
 
     char = sub.add_parser(
-        "characterize", help="print a workload's characterization statistics"
+        "characterize",
+        help="print a workload's characterization statistics",
+        parents=[workload_parent],
     )
-    char.add_argument("--trace", default="CTC", choices=["CTC", "SDSC", "LUBLIN"])
     char.add_argument("--swf", help="characterize an SWF file instead")
-    char.add_argument("--jobs", type=int, default=2500)
-    char.add_argument("--seed", type=int, default=1)
-    char.add_argument("--load-scale", type=float, default=1.0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a live scheduler session behind an HTTP/JSON API",
+    )
+    serve.add_argument(
+        "--procs", type=int, default=128, metavar="N",
+        help="machine size the live session schedules onto (default: 128)",
+    )
+    serve.add_argument(
+        "--scheduler", default="easy", choices=list(SCHEDULER_KINDS),
+        help="primary policy answering queries (default: easy)",
+    )
+    serve.add_argument(
+        "--priority", default="FCFS", choices=list(PRIORITY_POLICIES)
+    )
+    serve.add_argument(
+        "--alternative", action="append", default=[], metavar="KIND[:PRIORITY]",
+        help="extra policy fed the same job stream, queryable via "
+        "policy=...; repeatable (e.g. --alternative cons)",
+    )
+    serve.add_argument(
+        "--metrics", default="bounded", choices=["bounded", "exact"],
+        help="metric accumulation: 'bounded' keeps O(1) state per session, "
+        "'exact' retains every per-job record (default: bounded)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8537)
+    serve.add_argument(
+        "--name", default="live", help="session name (default: live)"
+    )
 
     store = sub.add_parser(
         "store", help="inspect and maintain a persistent result cache"
@@ -288,29 +368,41 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.swf:
+        # SWF files are not describable as a WorkloadSpec, so this path
+        # cannot go through the cell cache; simulate directly.
         workload = read_swf(args.swf)
+        result = simulate(workload, make_scheduler(args.scheduler, args.priority))
+        metrics = result.metrics
+        workload_name = result.workload_name
+        scheduler_name = result.scheduler_name
     else:
-        workload = make_workload(
-            WorkloadSpec(
-                trace=args.trace,
-                n_jobs=args.jobs,
-                seed=args.seed,
-                load_scale=args.load_scale,
-                estimate=args.estimate,
-            )
+        spec = WorkloadSpec(
+            trace=args.trace,
+            n_jobs=args.jobs,
+            seed=args.seed,
+            load_scale=args.load_scale,
+            estimate=args.estimate,
         )
-    scheduler = make_scheduler(args.scheduler, args.priority)
-    result = simulate(workload, scheduler)
-    overall = result.metrics.overall
-    print(f"workload : {result.workload_name} ({len(workload)} jobs, "
+        workload = make_workload(spec)
+        workload_name = workload.name
+        scheduler_name = make_scheduler(args.scheduler, args.priority).describe()
+        # Route through the execution layer so --parallel/--cache-dir/
+        # --store-backend/--chunk-size behave exactly as in `experiment`
+        # (a repeated invocation with a cache directory is a pure cache
+        # hit).  Output is identical to the direct path: the cell worker
+        # runs the same simulate() call.
+        _configure_execution(args)
+        metrics = run_cells([Cell.make(spec, args.scheduler, args.priority)])[0]
+    overall = metrics.overall
+    print(f"workload : {workload_name} ({len(workload)} jobs, "
           f"{workload.max_procs} procs, offered load {workload.offered_load:.3f})")
-    print(f"scheduler: {result.scheduler_name}")
+    print(f"scheduler: {scheduler_name}")
     print(f"mean bounded slowdown : {overall.mean_bounded_slowdown:12.2f}")
     print(f"mean turnaround (s)   : {overall.mean_turnaround:12.0f}")
     print(f"mean wait (s)         : {overall.mean_wait:12.0f}")
     print(f"worst turnaround (s)  : {overall.max_turnaround:12.0f}")
-    print(f"utilization           : {result.metrics.utilization:12.3f}")
-    for category, summary in result.metrics.by_category.items():
+    print(f"utilization           : {metrics.utilization:12.3f}")
+    for category, summary in metrics.by_category.items():
         print(
             f"  {category.value}: n={summary.count:6d} "
             f"slowdown={summary.mean_bounded_slowdown:10.2f} "
@@ -430,6 +522,21 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import Session, serve_forever
+
+    session = Session(
+        args.procs,
+        scheduler=args.scheduler,
+        priority=args.priority,
+        alternatives=tuple(args.alternative),
+        metrics=args.metrics,
+        name=args.name,
+    )
+    serve_forever(session, host=args.host, port=args.port)
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:")
     for experiment_id in EXPERIMENTS:
@@ -450,6 +557,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "characterize": _cmd_characterize,
         "store": _cmd_store,
+        "serve": _cmd_serve,
         "list": _cmd_list,
     }
     try:

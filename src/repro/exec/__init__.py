@@ -13,9 +13,11 @@ The public surface:
   and corrupt-entry tolerant;
 * :func:`run_cells` — the batch entry point the experiment harness uses:
   executes against the process-wide default executor;
-* :func:`configure` — rebuild the default executor (worker count, cache
-  directory, progress callback); this is what the CLI's ``--parallel`` /
-  ``--cache-dir`` flags call.
+* :class:`ExecConfig` + :func:`set_default_executor` — execution
+  configuration as a frozen value, installed explicitly; this is what
+  the CLI's ``--parallel`` / ``--cache-dir`` flags build.
+* :func:`configure` — **deprecated** keyword-argument shim over the
+  above; emits :class:`DeprecationWarning` and will be removed.
 
 Typical use::
 
@@ -29,10 +31,12 @@ Typical use::
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Iterable
 
 from repro.exec.backends import BACKEND_CHOICES, StoreBackend, make_backend
 from repro.exec.cell import CACHE_SCHEMA_VERSION, Cell
+from repro.exec.config import ExecConfig
 from repro.exec.chains import ChainStats, chain_key, plan_chains, run_chain
 from repro.exec.executor import CellExecutor, ExecutionReport, simulate_cell
 from repro.exec.serialize import metrics_digest
@@ -67,6 +71,8 @@ __all__ = [
     "simulate_cell",
     "metrics_digest",
     "run_cells",
+    "ExecConfig",
+    "set_default_executor",
     "configure",
     "default_executor",
     "default_store",
@@ -91,6 +97,30 @@ def default_store() -> ResultStore:
     return default_executor().store
 
 
+def set_default_executor(config: ExecConfig | CellExecutor | None) -> CellExecutor:
+    """Install the process-wide default executor and return it.
+
+    Accepts a frozen :class:`ExecConfig` (the normal case — the executor
+    and its store are built from it), a ready :class:`CellExecutor`, or
+    ``None`` to reset to the lazy serial default.  The previous default's
+    in-memory results are discarded.  This is the supported replacement
+    for the deprecated :func:`configure`.
+    """
+    global _default_executor
+    if config is None:
+        _default_executor = None
+        return default_executor()
+    if isinstance(config, CellExecutor):
+        _default_executor = config
+    elif isinstance(config, ExecConfig):
+        _default_executor = CellExecutor.from_config(config)
+    else:
+        raise TypeError(
+            f"expected ExecConfig, CellExecutor or None, got {type(config).__name__}"
+        )
+    return _default_executor
+
+
 def configure(
     *,
     parallel: int = 1,
@@ -103,34 +133,36 @@ def configure(
     store_backend: str = "auto",
     memory_limit: int | None = DEFAULT_MEMORY_LIMIT,
 ) -> CellExecutor:
-    """Replace the default executor and return it.
+    """Deprecated: build an :class:`ExecConfig` and call
+    :func:`set_default_executor` instead.
 
-    ``parallel`` sets the worker-process count (1 = serial),
-    ``cache_dir`` enables the persistent disk layer, ``progress`` is
-    invoked with the live :class:`ExecutionReport` after each completed
-    cell.  ``chunk_size`` fixes the cells-per-task dispatch granularity
-    (``None`` auto-sizes per batch), ``preload_workloads`` controls
-    shipping pre-built workload tables to fresh workers, and
-    ``use_chains`` toggles forked prefix-sharing across horizon sweeps
-    (the CLI's ``--no-chains`` turns it off).  ``store_backend`` picks
-    the disk layout (``auto``/``json``/``sqlite``/``shard`` — the CLI's
-    ``--store-backend``) and ``memory_limit`` caps the store's
-    in-process layer.  The previous default's in-memory results are
-    discarded.
+    Kept as a thin shim for existing callers: the keyword arguments map
+    one-to-one onto :class:`ExecConfig` fields (``parallel`` sets the
+    worker-process count, ``cache_dir`` + ``store_backend`` +
+    ``memory_limit`` shape the store, ``chunk_size`` /
+    ``preload_workloads`` / ``use_chains`` tune dispatch — see the
+    ``ExecConfig`` docs).  Emits :class:`DeprecationWarning` and returns
+    the newly installed executor.
     """
-    global _default_executor
-    _default_executor = CellExecutor(
-        max_workers=parallel,
-        store=ResultStore(
-            cache_dir=cache_dir, backend=store_backend, memory_limit=memory_limit
-        ),
-        max_retries=max_retries,
-        progress=progress,
-        chunk_size=chunk_size,
-        preload_workloads=preload_workloads,
-        use_chains=use_chains,
+    warnings.warn(
+        "repro.exec.configure() is deprecated; build a repro.exec.ExecConfig "
+        "and pass it to repro.exec.set_default_executor() instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return _default_executor
+    return set_default_executor(
+        ExecConfig(
+            parallel=parallel,
+            cache_dir=cache_dir,
+            max_retries=max_retries,
+            progress=progress,
+            chunk_size=chunk_size,
+            preload_workloads=preload_workloads,
+            use_chains=use_chains,
+            store_backend=store_backend,
+            memory_limit=memory_limit,
+        )
+    )
 
 
 def run_cells(

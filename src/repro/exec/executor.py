@@ -254,6 +254,21 @@ class CellExecutor:
         self.last_report = ExecutionReport()
         self.session = ExecutionReport()
 
+    @classmethod
+    def from_config(cls, config, *, store: ResultStore | None = None) -> "CellExecutor":
+        """Build the executor an :class:`~repro.exec.config.ExecConfig`
+        describes, constructing its store from the same config unless one
+        is passed explicitly."""
+        return cls(
+            max_workers=config.parallel,
+            store=store if store is not None else ResultStore.from_config(config),
+            max_retries=config.max_retries,
+            progress=config.progress,
+            chunk_size=config.chunk_size,
+            preload_workloads=config.preload_workloads,
+            use_chains=config.use_chains,
+        )
+
     # -- public API -----------------------------------------------------------
 
     def execute(self, cells: Iterable[Cell]) -> list[RunMetrics]:

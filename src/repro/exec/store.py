@@ -141,6 +141,17 @@ class ResultStore:
         self._memory: OrderedDict[str, StoredResult] = OrderedDict()
         self.stats = StoreStats()
 
+    @classmethod
+    def from_config(cls, config) -> "ResultStore":
+        """Build the store an :class:`~repro.exec.config.ExecConfig`
+        describes (its ``cache_dir`` / ``store_backend`` /
+        ``memory_limit`` fields)."""
+        return cls(
+            cache_dir=config.cache_dir,
+            backend=config.store_backend,
+            memory_limit=config.memory_limit,
+        )
+
     def __len__(self) -> int:
         return len(self._memory)
 

@@ -27,6 +27,11 @@ from repro.metrics.collector import (
     summarize_legacy,
     summarize_rows,
 )
+from repro.metrics.streaming import (
+    GroupAccumulator,
+    QuantileReservoir,
+    StreamingMetrics,
+)
 
 __all__ = [
     "BOUNDED_SLOWDOWN_THRESHOLD",
@@ -50,4 +55,7 @@ __all__ = [
     "summarize_columns",
     "summarize_legacy",
     "reference_summarize",
+    "StreamingMetrics",
+    "QuantileReservoir",
+    "GroupAccumulator",
 ]

@@ -1,0 +1,114 @@
+"""Asyncio front-end: many in-flight what-if queries over one session.
+
+:class:`AsyncSession` wraps a (not thread-safe) synchronous
+:class:`~repro.serve.session.Session` for use from an event loop.  The
+split that makes concurrency safe is already in the session design:
+
+* **mutations and forks are cheap and serialized** — ``submit`` /
+  ``advance`` / ``branch`` touch the live state, so they run under a
+  single :class:`asyncio.Lock`;
+* **query drains are expensive and independent** — a
+  :class:`~repro.serve.session.SessionBranch` taken under the lock is
+  immutable and detached, so draining it runs in the default thread-pool
+  executor *outside* the lock.
+
+The result: one coroutine can stream submissions while dozens of
+what-if queries drain concurrently against forks of the same paused
+state, none of them blocking the loop.  This is the multiplexing layer
+the HTTP server (:mod:`repro.serve.http`) is a thin skin over, and is
+usable directly from any asyncio application.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import SimulationError
+from repro.serve.session import (
+    QueueForecast,
+    Session,
+    SessionStats,
+    WhatIfReport,
+)
+from repro.workload.job import Job
+
+__all__ = ["AsyncSession"]
+
+
+class AsyncSession:
+    """Async wrapper multiplexing concurrent queries over one live session.
+
+    All coroutine methods mirror the synchronous
+    :class:`~repro.serve.session.Session` API.  Construct with a ready
+    session (whose ownership transfers here — don't mutate it directly
+    afterwards) or via keyword arguments forwarded to ``Session(...)``.
+    """
+
+    def __init__(self, session: Session | None = None, **session_kwargs) -> None:
+        if session is None:
+            session = Session(**session_kwargs)
+        elif session_kwargs:
+            raise TypeError("pass either a session or Session kwargs, not both")
+        self._session = session
+        self._lock = asyncio.Lock()
+
+    @property
+    def session(self) -> Session:
+        """The wrapped synchronous session (for lock-free reads like name)."""
+        return self._session
+
+    async def submit(self, job: Job | None = None, **fields) -> int:
+        """Queue a job for arrival; see :meth:`Session.submit`."""
+        async with self._lock:
+            return self._session.submit(job, **fields)
+
+    async def advance(
+        self, to_time: float | None = None, *, dt: float | None = None
+    ) -> float:
+        """Play the live state forward; see :meth:`Session.advance`."""
+        async with self._lock:
+            return self._session.advance(to_time, dt=dt)
+
+    async def what_if(
+        self, job: Job | None = None, *, policy: str | None = None, **fields
+    ) -> WhatIfReport:
+        """Fork under the lock, drain in the executor — concurrent-safe.
+
+        While one what-if drains, other coroutines may submit, advance,
+        or launch further queries; each query answers against the state
+        at *its* fork instant.
+        """
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            if job is None and fields:
+                if "runtime" not in fields or "procs" not in fields:
+                    raise SimulationError("what_if() needs runtime= and procs=")
+                estimate = fields.get("estimate")
+                job = Job(
+                    job_id=fields.get("job_id", self._session._next_id),
+                    submit_time=fields.get("submit_time", self._session.clock),
+                    runtime=fields["runtime"],
+                    estimate=estimate if estimate is not None else fields["runtime"],
+                    procs=fields["procs"],
+                )
+            branch = self._session.branch(policy)
+        return await loop.run_in_executor(None, branch.what_if, job)
+
+    async def queue_forecast(
+        self, horizon: float, *, policy: str | None = None
+    ) -> QueueForecast:
+        """Fork under the lock, advance the branch in the executor."""
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            branch = self._session.branch(policy)
+        return await loop.run_in_executor(None, branch.forecast, horizon)
+
+    async def stats(self, policy: str | None = None) -> SessionStats:
+        """Point-in-time session card; see :meth:`Session.stats`."""
+        async with self._lock:
+            return self._session.stats(policy)
+
+    async def clock(self) -> float:
+        """Current simulated time."""
+        async with self._lock:
+            return self._session.clock

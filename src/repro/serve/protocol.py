@@ -1,0 +1,213 @@
+"""Wire format for the serve layer: JSON codecs for sessions and reports.
+
+One round-trippable payload shape per serve-layer object, shared by the
+HTTP layer (:mod:`repro.serve.http`) and any client that wants to talk
+to it.  Payloads are plain ``dict``/``list``/scalar trees ready for
+``json.dumps`` — *strict* JSON: non-finite aggregates (the NaN means of
+an empty summary) encode as ``null``, so any client-side parser accepts
+the output, not just Python's lenient default.
+
+Decoders validate shape and raise :class:`~repro.errors.SimulationError`
+with a field-level message on malformed input, so the HTTP layer can
+turn client mistakes into 400s rather than stack traces.
+
+Metrics are encoded by :func:`run_metrics_to_payload` — an
+*aggregate*-shaped payload (overall + per-group summaries), unlike the
+record-row payload of :func:`repro.exec.serialize.metrics_to_payload`:
+a bounded-mode session holds aggregates but no per-job rows, so a
+records-based encoding would silently serve empty summaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+from repro.metrics.collector import MetricSummary, RunMetrics
+from repro.serve.session import (
+    JobForecast,
+    QueueForecast,
+    RunningJob,
+    SessionStats,
+    WhatIfReport,
+)
+from repro.workload.job import Job
+
+__all__ = [
+    "job_to_payload",
+    "job_from_payload",
+    "forecast_to_payload",
+    "running_to_payload",
+    "what_if_to_payload",
+    "queue_forecast_to_payload",
+    "stats_to_payload",
+    "summary_to_payload",
+    "run_metrics_to_payload",
+]
+
+
+def _finite(value: float):
+    """A float for the wire: ``None`` instead of NaN/inf (strict JSON)."""
+    return value if math.isfinite(value) else None
+
+
+def summary_to_payload(summary: MetricSummary) -> dict:
+    """Encode one :class:`~repro.metrics.collector.MetricSummary`."""
+    return {
+        "count": summary.count,
+        "mean_bounded_slowdown": _finite(summary.mean_bounded_slowdown),
+        "mean_turnaround": _finite(summary.mean_turnaround),
+        "mean_wait": _finite(summary.mean_wait),
+        "max_turnaround": _finite(summary.max_turnaround),
+        "max_bounded_slowdown": _finite(summary.max_bounded_slowdown),
+    }
+
+
+def run_metrics_to_payload(metrics: RunMetrics) -> dict:
+    """Encode a :class:`~repro.metrics.collector.RunMetrics` as aggregates.
+
+    Works for bounded-mode metrics (which hold no per-job rows); see the
+    module docstring for why the record-row codec is not used here.
+    """
+    return {
+        "overall": summary_to_payload(metrics.overall),
+        "by_category": {
+            category.value: summary_to_payload(summary)
+            for category, summary in metrics.by_category.items()
+        },
+        "by_estimate_quality": {
+            quality.value: summary_to_payload(summary)
+            for quality, summary in metrics.by_estimate_quality.items()
+        },
+        "utilization": _finite(metrics.utilization),
+        "makespan": _finite(metrics.makespan),
+        "record_count": len(metrics.records),
+    }
+
+
+def _require(payload: dict, field: str, kinds, *, optional: bool = False):
+    """Pull ``field`` out of ``payload``, type-checked; SimulationError if bad."""
+    if field not in payload:
+        if optional:
+            return None
+        raise SimulationError(f"payload missing required field {field!r}")
+    value = payload[field]
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise SimulationError(
+            f"payload field {field!r} must be {kinds}, got {type(value).__name__}"
+        )
+    return value
+
+
+def job_to_payload(job: Job) -> dict:
+    """Encode a :class:`~repro.workload.job.Job` (scheduling fields only)."""
+    return {
+        "job_id": job.job_id,
+        "submit_time": job.submit_time,
+        "runtime": job.runtime,
+        "estimate": job.estimate,
+        "procs": job.procs,
+    }
+
+
+def job_from_payload(payload: dict) -> dict:
+    """Decode a submission payload into :meth:`Session.submit` kwargs.
+
+    ``runtime`` and ``procs`` are required; ``estimate``, ``submit_time``
+    and ``job_id`` are optional (the session fills in its defaults).
+    """
+    if not isinstance(payload, dict):
+        raise SimulationError(
+            f"job payload must be an object, got {type(payload).__name__}"
+        )
+    runtime = _require(payload, "runtime", (int, float))
+    procs = _require(payload, "procs", int)
+    if runtime <= 0 or not math.isfinite(runtime):
+        raise SimulationError(f"job runtime must be finite and > 0, got {runtime}")
+    if procs <= 0:
+        raise SimulationError(f"job procs must be > 0, got {procs}")
+    kwargs: dict = {"runtime": float(runtime), "procs": procs}
+    estimate = _require(payload, "estimate", (int, float), optional=True)
+    if estimate is not None:
+        kwargs["estimate"] = float(estimate)
+    submit_time = _require(payload, "submit_time", (int, float), optional=True)
+    if submit_time is not None:
+        kwargs["submit_time"] = float(submit_time)
+    job_id = _require(payload, "job_id", int, optional=True)
+    if job_id is not None:
+        kwargs["job_id"] = job_id
+    return kwargs
+
+
+def forecast_to_payload(forecast: JobForecast) -> dict:
+    """Encode one per-job prediction."""
+    return {
+        "job_id": forecast.job_id,
+        "submit_time": forecast.submit_time,
+        "start_time": forecast.start_time,
+        "finish_time": forecast.finish_time,
+        "wait": forecast.wait,
+    }
+
+
+def running_to_payload(running: RunningJob) -> dict:
+    """Encode one running-job line of a queue forecast."""
+    return {
+        "job_id": running.job_id,
+        "procs": running.procs,
+        "start_time": running.start_time,
+        "estimated_finish": running.estimated_finish,
+    }
+
+
+def what_if_to_payload(report: WhatIfReport, *, include_metrics: bool = True) -> dict:
+    """Encode a :class:`~repro.serve.session.WhatIfReport`."""
+    payload = {
+        "policy": report.policy,
+        "asked_at": report.asked_at,
+        "target": None if report.target is None else forecast_to_payload(report.target),
+        "pending": [forecast_to_payload(p) for p in report.pending],
+        "drained_at": report.drained_at,
+    }
+    if include_metrics:
+        payload["metrics"] = run_metrics_to_payload(report.metrics)
+    return payload
+
+
+def queue_forecast_to_payload(forecast: QueueForecast) -> dict:
+    """Encode a :class:`~repro.serve.session.QueueForecast`."""
+    return {
+        "policy": forecast.policy,
+        "asked_at": forecast.asked_at,
+        "horizon": forecast.horizon,
+        "at_time": forecast.at_time,
+        "running": [running_to_payload(r) for r in forecast.running],
+        "queued_ids": list(forecast.queued_ids),
+        "free_procs": forecast.free_procs,
+        "completed_in_horizon": forecast.completed_in_horizon,
+        "started": [forecast_to_payload(p) for p in forecast.started],
+        "utilization": _finite(forecast.utilization),
+    }
+
+
+def stats_to_payload(stats: SessionStats) -> dict:
+    """Encode a :class:`~repro.serve.session.SessionStats` card."""
+    return {
+        "name": stats.name,
+        "policy": stats.policy,
+        "policies": list(stats.policies),
+        "clock": stats.clock,
+        "total_procs": stats.total_procs,
+        "free_procs": stats.free_procs,
+        "submitted": stats.submitted,
+        "completed": stats.completed,
+        "running": stats.running,
+        "queued": stats.queued,
+        "utilization": _finite(stats.utilization),
+        "mean_bounded_slowdown": _finite(stats.overall.mean_bounded_slowdown),
+        "mean_wait": _finite(stats.overall.mean_wait),
+        "wait_p50": _finite(stats.wait_p50),
+        "wait_p99": _finite(stats.wait_p99),
+        "metrics_mode": stats.metrics_mode,
+        "records_held": stats.records_held,
+    }

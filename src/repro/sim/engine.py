@@ -24,7 +24,8 @@ arrival eventually completes, starts only of known queued jobs) and raises
 returning corrupt results.
 
 Checkpoint/fork (see DESIGN.md section 9): a run can be paused at a
-*batch boundary* with :meth:`Simulator.run_until`, captured with
+*batch boundary* with :meth:`Simulator.run_until` (a job-count horizon)
+or :meth:`Simulator.run_until_time` (a wall-clock stop), captured with
 :meth:`Simulator.snapshot`, and continued on a *prefix* workload with
 :meth:`Simulator.resume` + :meth:`Simulator.drain` — the mechanism behind
 the executor's simulation chains, which share one simulated prefix across
@@ -34,6 +35,25 @@ onto the event queue): the event queue then holds only engine-generated
 events (finishes, timers, blocker arrivals), whose push sequence is
 identical for every workload sharing the prefix, which is what makes a
 snapshot's event queue and tie-breaking counters exactly reusable.
+
+The batch-boundary invariant both pause methods enforce: after a pause
+at watermark *w*, every batch strictly before *w* has been processed and
+none at or after it — so ``delivered`` arrivals are exactly the workload
+jobs with ``submit_time < w``, which is what :meth:`Simulator.resume`
+re-validates on every branch.  Violations (non-monotone horizons, a
+workload that disagrees with the simulated history, arrivals injected
+into the simulated past via :meth:`Simulator.extend_workload`) raise
+:class:`~repro.errors.SimulationError` immediately instead of drifting.
+
+Streaming metrics (see DESIGN.md section 11): a long-lived simulation —
+the serve layer's live session — cannot afford the per-job
+:class:`~repro.metrics.collector.CompletedJob` rows a batch run
+accumulates.  Passing a *metrics sink* (duck-typed:
+``observe(record)``, ``fork()``, ``watched_records``,
+``run_metrics(utilization=..., makespan=...)`` — implemented by
+:class:`repro.metrics.streaming.StreamingMetrics`) makes the engine hand
+each completed record to the sink and drop it, keeping per-job state
+O(running + queued) instead of O(total jobs).
 """
 
 from __future__ import annotations
@@ -102,10 +122,22 @@ class SimulationSnapshot:
     #: none at or after it.
     watermark: float
     total_procs: int
+    #: Jobs completed before the pause.  Equals ``len(completed)`` in
+    #: batch mode; in streaming mode ``completed`` is empty and this
+    #: counter is the only record of how many jobs already finished.
+    completed_count: int = 0
+    #: Forked metrics sink for streaming-mode snapshots (None in batch
+    #: mode).  Carries the aggregate state of every pre-pause completion,
+    #: which is why a streaming snapshot cannot resume without a sink.
+    metrics_sink: object | None = None
 
 
 class Simulator:
     """Drives one scheduler over one workload."""
+
+    #: Sentinel for :meth:`resume`'s ``metrics_sink`` parameter: inherit
+    #: (fork) the snapshot's own sink.
+    _INHERIT_SINK = object()
 
     def __init__(
         self,
@@ -113,12 +145,15 @@ class Simulator:
         scheduler: Scheduler,
         *,
         trace: EventTrace | None = None,
+        metrics_sink=None,
     ) -> None:
         self.workload = workload
         self.scheduler = scheduler
         self.machine = Machine(workload.max_procs)
         self.trace = trace
         self.clock = 0.0
+        self._metrics_sink = metrics_sink
+        self._completed_count = 0
         self._events = EventQueue()
         self._completed: list[CompletedJob] = []
         self._start_times: dict[int, float] = {}
@@ -238,7 +273,16 @@ class Simulator:
             raise SimulationError(f"finish event for never-started job {job.job_id}")
         self.machine.release(job, self.clock)
         self.scheduler.notify_finished(job, self.clock)
-        self._completed.append(CompletedJob(job, start, self.clock))
+        record = CompletedJob(job, start, self.clock)
+        if self._metrics_sink is not None:
+            # Streaming mode: the sink folds the record into its O(1)
+            # accumulators and the engine drops every per-job trace of
+            # the finished job, so long-lived sessions stay bounded.
+            self._metrics_sink.observe(record)
+            del self._start_times[job.job_id]
+        else:
+            self._completed.append(record)
+        self._completed_count += 1
         self._pending -= 1
         self._record_trace("finish", job)
 
@@ -339,21 +383,26 @@ class Simulator:
                 f"simulation drained its events with {self._pending} jobs "
                 f"unfinished (still queued: {stuck[:10]}{'...' if len(stuck) > 10 else ''})"
             )
-        if len(self._completed) != len(self.workload):
+        if self._completed_count != len(self.workload):
             raise SimulationError(
-                f"completed {len(self._completed)} of {len(self.workload)} jobs"
+                f"completed {self._completed_count} of {len(self.workload)} jobs"
             )
 
-        metrics = summarize(
-            self._completed,
-            utilization=self.machine.utilization(),
-            makespan=self.clock
-            - (
-                min(job.submit_time for job in self.workload)
-                if len(self.workload)
-                else 0.0
-            ),
+        makespan = self.clock - (
+            min(job.submit_time for job in self.workload)
+            if len(self.workload)
+            else 0.0
         )
+        if self._metrics_sink is not None:
+            metrics = self._metrics_sink.run_metrics(
+                utilization=self.machine.utilization(), makespan=makespan
+            )
+        else:
+            metrics = summarize(
+                self._completed,
+                utilization=self.machine.utilization(),
+                makespan=makespan,
+            )
         return SimulationResult(
             workload_name=self.workload.name,
             scheduler_name=self.scheduler.describe(),
@@ -363,6 +412,33 @@ class Simulator:
         )
 
     # -- public API -----------------------------------------------------------
+
+    @property
+    def watermark(self) -> float:
+        """The pause boundary: every batch strictly before it is processed."""
+        return self._watermark
+
+    @property
+    def completed_count(self) -> int:
+        """Number of jobs that have finished so far."""
+        return self._completed_count
+
+    @property
+    def metrics_sink(self):
+        """The streaming metrics sink, or None in batch mode."""
+        return self._metrics_sink
+
+    @property
+    def completed_records(self) -> tuple[CompletedJob, ...]:
+        """Completion records held in memory.
+
+        Batch mode: every finished job.  Streaming mode: only the sink's
+        watched jobs — everything else was folded into the sink's O(1)
+        aggregates and dropped.
+        """
+        if self._metrics_sink is not None:
+            return tuple(self._metrics_sink.watched_records)
+        return tuple(self._completed)
 
     def run(self) -> SimulationResult:
         """Run to completion and return the result.  Single use."""
@@ -406,6 +482,110 @@ class Simulator:
         self._advance_until(stop_time)
         self._watermark = stop_time
 
+    def run_until_time(self, stop_time: float) -> None:
+        """Advance to the batch boundary at wall-clock ``stop_time``.
+
+        Processes every batch whose timestamp is strictly before
+        ``stop_time`` and pauses, leaving events at exactly ``stop_time``
+        unprocessed — the same boundary guarantee as :meth:`run_until`,
+        but anchored to simulated time instead of a job-count horizon, so
+        it works for live sessions whose future arrivals are unknown:
+        empty workloads (a zero-job session priming itself), stops beyond
+        the last arrival (a queue draining with nothing left to submit),
+        and repeated non-decreasing stops are all legal.  After the pause
+        a :meth:`snapshot` is valid: ``delivered`` arrivals are exactly
+        the jobs with ``submit_time < stop_time``.
+
+        Raises :class:`~repro.errors.SimulationError` on a non-monotone
+        stop (``stop_time`` below a previous watermark — the state for
+        times already simulated is gone, and continuing would silently
+        drift), a non-finite or negative stop, use after :meth:`run`, or
+        use after the simulation finished.
+        """
+        if self._finalized:
+            raise SimulationError("run_until_time() after the simulation finished")
+        if not math.isfinite(stop_time) or stop_time < 0:
+            raise SimulationError(
+                f"run_until_time() needs a finite stop time >= 0, got {stop_time}"
+            )
+        if not self._primed:
+            if self._ran:
+                raise SimulationError(
+                    "run_until_time() after run() on the same instance"
+                )
+            self._ran = True
+            self._prime()
+        if stop_time < self._watermark:
+            raise SimulationError(
+                f"run_until_time() stops must be non-decreasing: got "
+                f"{stop_time}, before the previous stop at {self._watermark}"
+            )
+        self._advance_until(stop_time)
+        self._watermark = stop_time
+
+    def extend_workload(self, workload: Workload) -> None:
+        """Swap in a workload that extends this one with future arrivals.
+
+        The streaming-submission primitive behind the serve layer's
+        :class:`~repro.serve.Session`: arrivals are fed lazily from
+        ``self.workload``, so a paused simulation can accept new jobs by
+        replacing the workload with a superset — provided the simulated
+        history stays intact.  Enforced, with a clear
+        :class:`~repro.errors.SimulationError` instead of silent drift:
+
+        * same machine size;
+        * the already-delivered arrival prefix is identical job for job;
+        * every undelivered job (old or new) is submitted at or after
+          the watermark — submitting into the simulated past would
+          desynchronize ``delivered`` from the workload history that
+          :meth:`resume` validates;
+        * no previously-pending job vanishes;
+        * no job id collides with advance-reservation blocker ids.
+        """
+        if self._finalized:
+            raise SimulationError("extend_workload() after the simulation finished")
+        if workload.max_procs != self.workload.max_procs:
+            raise SimulationError(
+                f"extend_workload() cannot change the machine size "
+                f"({self.workload.max_procs} -> {workload.max_procs} procs)"
+            )
+        delivered = self._arrival_index
+        if len(workload) < delivered:
+            raise SimulationError(
+                f"extend_workload() got {len(workload)} jobs but "
+                f"{delivered} arrivals were already simulated"
+            )
+        for old, new in zip(self.workload.jobs[:delivered], workload.jobs[:delivered]):
+            if old != new:
+                raise SimulationError(
+                    f"extend_workload() disagrees with the simulated history: "
+                    f"delivered job {old.job_id} changed"
+                )
+        for job in workload.jobs[delivered:]:
+            if job.submit_time < self._watermark:
+                raise SimulationError(
+                    f"cannot submit job {job.job_id} at t={job.submit_time}, "
+                    f"in the simulated past (time is already at "
+                    f"{self._watermark})"
+                )
+        pending_old = {job.job_id for job in self.workload.jobs[delivered:]}
+        pending_new = {job.job_id for job in workload.jobs[delivered:]}
+        lost = pending_old - pending_new
+        if lost:
+            raise SimulationError(
+                f"extend_workload() dropped pending jobs {sorted(lost)[:10]}"
+            )
+        if self._blocker_ids and any(
+            job.job_id >= self._BLOCKER_ID_BASE for job in workload.jobs[delivered:]
+        ):
+            raise SimulationError(
+                f"workload job ids must stay below {self._BLOCKER_ID_BASE} "
+                "when advance reservations are active"
+            )
+        if self._primed:
+            self._pending += len(workload) - len(self.workload)
+        self.workload = workload
+
     def drain(self) -> SimulationResult:
         """Run the remaining events to completion and return the result.
 
@@ -444,6 +624,12 @@ class Simulator:
             delivered=self._arrival_index,
             watermark=self._watermark,
             total_procs=self.machine.total_procs,
+            completed_count=self._completed_count,
+            metrics_sink=(
+                self._metrics_sink.fork()
+                if self._metrics_sink is not None
+                else None
+            ),
         )
 
     @classmethod
@@ -453,6 +639,7 @@ class Simulator:
         workload: Workload,
         *,
         trace: EventTrace | None = None,
+        metrics_sink=_INHERIT_SINK,
     ) -> "Simulator":
         """Rebuild a live simulator from ``snapshot`` on ``workload``.
 
@@ -462,6 +649,13 @@ class Simulator:
         simulator continues from the pause point; call :meth:`drain` (or
         :meth:`run_until` for further checkpoints) on it.  The snapshot is
         left intact and can seed more branches.
+
+        ``metrics_sink`` defaults to inheriting the snapshot's mode: a
+        streaming snapshot forks its sink for the branch (each branch
+        accumulates independently), a batch snapshot stays batch.  Pass a
+        sink explicitly to replace the fork; a streaming snapshot cannot
+        resume without one — its pre-pause records are gone, so only a
+        sink carrying their aggregates can finish the run.
         """
         if workload.max_procs != snapshot.total_procs:
             raise SimulationError(
@@ -484,18 +678,31 @@ class Simulator:
                 f"{delivered} jobs submitted before t={snapshot.watermark}, "
                 f"but the snapshot simulated {snapshot.delivered} arrivals"
             )
-        sim = cls(workload, snapshot.scheduler.fork(), trace=trace)
+        if metrics_sink is cls._INHERIT_SINK:
+            metrics_sink = (
+                snapshot.metrics_sink.fork()
+                if snapshot.metrics_sink is not None
+                else None
+            )
+        elif metrics_sink is None and snapshot.metrics_sink is not None:
+            raise SimulationError(
+                "a streaming snapshot cannot resume without a metrics sink: "
+                "its pre-pause per-job records were already folded away"
+            )
+        sim = cls(workload, snapshot.scheduler.fork(), trace=trace,
+                  metrics_sink=metrics_sink)
         sim.machine = snapshot.machine.clone()
         sim.clock = snapshot.clock
         sim._events = snapshot.events.clone()
         sim._completed = list(snapshot.completed)
+        sim._completed_count = snapshot.completed_count
         sim._start_times = dict(snapshot.start_times)
         sim._events_processed = snapshot.events_processed
         sim._timer_times = set(snapshot.timer_times)
         sim._timer_prune_at = snapshot.timer_prune_at
         sim._blocker_ids = set(snapshot.blocker_ids)
         sim._arrival_index = delivered
-        sim._pending = len(workload) - len(snapshot.completed)
+        sim._pending = len(workload) - snapshot.completed_count
         sim._watermark = snapshot.watermark
         sim._ran = True
         sim._primed = True

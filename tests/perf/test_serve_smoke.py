@@ -1,0 +1,47 @@
+"""Perf smoke test: live what-if queries must stay cheap and pure.
+
+Runs a small slice of ``benchmarks/bench_serve.py`` (a loaded bounded-
+memory session, a handful of full-drain what-ifs) with floors an order
+of magnitude below the benchmarked rates, so only a lost optimization
+— snapshots re-copying the workload, queries mutating the live state,
+bounded mode quietly retaining records — trips it, not CI jitter.  Real
+numbers belong to ``benchmarks/bench_serve.py`` +
+``benchmarks/compare_bench.py``; this is the tripwire on every push
+(``-m perf``).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.bench_serve import loaded_session, query_args
+
+SMOKE_QUERIES = 8
+
+#: Far below the benchmarked ~170/s full-drain rate.
+MIN_QUERIES_PER_SECOND = 5.0
+
+
+@pytest.mark.perf
+def test_what_if_queries_are_fast_pure_and_bounded():
+    session, _, _ = loaded_session()
+    before = session.stats()
+    assert before.queued > 0
+
+    started = time.perf_counter()
+    reports = [session.what_if(**query_args(i)) for i in range(SMOKE_QUERIES)]
+    seconds = time.perf_counter() - started
+
+    for report in reports:
+        assert report.target.start_time >= report.asked_at
+    # purity: the live session is untouched by its own queries
+    assert session.stats() == before
+    # bounded mode holds aggregates, never per-job records
+    assert before.records_held == 0
+
+    rate = SMOKE_QUERIES / seconds
+    assert rate >= MIN_QUERIES_PER_SECOND, (
+        f"what-if rate collapsed to {rate:.1f}/s "
+        f"(floor {MIN_QUERIES_PER_SECOND}/s); run benchmarks/bench_serve.py "
+        "and compare against the checked-in BENCH_serve.json"
+    )

@@ -1,0 +1,153 @@
+"""Property suite: forked serve queries are byte-identical to fresh runs.
+
+The serve layer's core guarantee (ISSUE 7 acceptance criterion): a
+what-if answered by snapshot-forking a live session and draining the
+branch is **byte-identical** to an independent, from-scratch simulation
+of the same arrival history plus the hypothetical job — for random job
+streams, random fork instants, random hypothetical jobs, and every
+backfilling discipline.  "Byte-identical" is ``metrics_digest`` equality
+(sha256 over the canonical metrics payload) in exact mode, and equality
+of every aggregate in bounded mode (whose RunMetrics carries aggregates
+but no rows).
+
+Also pinned here: advancing a live session in many small lockstep
+increments never diverges from one uninterrupted run — the
+batch-boundary invariant under ``run_until_time``.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.exec.serialize import metrics_digest
+from repro.experiments.runner import make_scheduler
+from repro.serve import Session
+from repro.sim.engine import simulate
+from repro.workload.job import Job, Workload
+
+MACHINE = 64
+KINDS = ["easy", "cons", "nobf", "sel"]
+
+
+@st.composite
+def job_streams(draw, min_jobs=5, max_jobs=40):
+    """A sorted stream of plausible jobs with varied estimate accuracy."""
+    count = draw(st.integers(min_value=min_jobs, max_value=max_jobs))
+    clock = 0.0
+    jobs = []
+    for index in range(count):
+        clock += draw(st.floats(min_value=0.0, max_value=500.0))
+        runtime = draw(st.floats(min_value=1.0, max_value=5000.0))
+        factor = draw(st.floats(min_value=1.0, max_value=4.0))
+        jobs.append(
+            Job(
+                job_id=index + 1,
+                submit_time=clock,
+                runtime=runtime,
+                estimate=runtime * factor,
+                procs=draw(st.integers(min_value=1, max_value=MACHINE)),
+            )
+        )
+    return jobs
+
+
+what_if_jobs = st.builds(
+    dict,
+    runtime=st.floats(min_value=1.0, max_value=3000.0),
+    procs=st.integers(min_value=1, max_value=MACHINE),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    jobs=job_streams(),
+    kind=st.sampled_from(KINDS),
+    fork_fraction=st.floats(min_value=0.0, max_value=1.0),
+    query=what_if_jobs,
+)
+def test_forked_what_if_is_byte_identical_to_fresh_run(
+    jobs, kind, fork_fraction, query
+):
+    horizon = jobs[-1].submit_time
+    fork_time = fork_fraction * horizon
+
+    session = Session(MACHINE, scheduler=kind, metrics="exact")
+    for job in jobs:
+        session.submit(job)
+    session.advance(fork_time)
+    report = session.what_if(submit_time=fork_time, **query)
+
+    hypothetical = Job(
+        job_id=len(jobs) + 1,
+        submit_time=fork_time,
+        runtime=query["runtime"],
+        estimate=query["runtime"],
+        procs=query["procs"],
+    )
+    independent = simulate(
+        Workload.from_jobs([*jobs, hypothetical], MACHINE, name="live"),
+        make_scheduler(kind),
+    )
+    assert metrics_digest(report.metrics) == metrics_digest(independent.metrics)
+    # the target's forecast is exactly the independent run's record
+    record = next(
+        r for r in independent.metrics.records
+        if r.job.job_id == hypothetical.job_id
+    )
+    assert report.target.start_time == record.start_time
+    assert report.target.finish_time == record.finish_time
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    jobs=job_streams(),
+    kind=st.sampled_from(KINDS),
+    fork_fraction=st.floats(min_value=0.0, max_value=1.0),
+    query=what_if_jobs,
+)
+def test_bounded_mode_what_if_matches_exact_mode(
+    jobs, kind, fork_fraction, query
+):
+    """The O(1)-memory mode answers every aggregate and the target
+    forecast identically to exact mode."""
+    fork_time = fork_fraction * jobs[-1].submit_time
+    reports = []
+    for mode in ("exact", "bounded"):
+        session = Session(MACHINE, scheduler=kind, metrics=mode)
+        for job in jobs:
+            session.submit(job)
+        session.advance(fork_time)
+        reports.append(session.what_if(submit_time=fork_time, **query))
+    exact, bounded = reports
+    assert bounded.target == exact.target
+    assert bounded.pending == exact.pending
+    assert bounded.drained_at == exact.drained_at
+    assert bounded.metrics.overall == exact.metrics.overall
+    assert bounded.metrics.by_category == exact.metrics.by_category
+    assert (
+        bounded.metrics.by_estimate_quality == exact.metrics.by_estimate_quality
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    jobs=job_streams(),
+    kind=st.sampled_from(KINDS),
+    cuts=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6
+    ),
+)
+def test_incremental_lockstep_advance_never_diverges(jobs, kind, cuts):
+    """Advancing through arbitrary intermediate pause points produces the
+    same completed schedule as running straight through."""
+    horizon = jobs[-1].submit_time
+    session = Session(MACHINE, scheduler=kind, metrics="exact")
+    for job in jobs:
+        session.submit(job)
+    for fraction in sorted(cuts):
+        session.advance(fraction * horizon)
+    report = session.what_if()  # drains the remainder
+
+    independent = simulate(
+        Workload.from_jobs(jobs, MACHINE, name="live"), make_scheduler(kind)
+    )
+    assert metrics_digest(report.metrics) == metrics_digest(independent.metrics)

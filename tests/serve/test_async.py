@@ -1,0 +1,87 @@
+"""AsyncSession: concurrent in-flight queries over one live state."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.serve import AsyncSession, Session
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAsyncSession:
+    def test_submit_advance_stats(self):
+        async def scenario():
+            live = AsyncSession(max_procs=16, scheduler="easy")
+            for i in range(10):
+                await live.submit(runtime=100, procs=2, submit_time=float(i))
+            clock = await live.advance(500.0)
+            stats = await live.stats()
+            return clock, stats
+
+        clock, stats = run(scenario())
+        assert clock == 500.0
+        assert stats.submitted == 10
+        assert stats.completed == 10
+
+    def test_wrapping_an_existing_session(self):
+        session = Session(8)
+        live = AsyncSession(session)
+        assert live.session is session
+        with pytest.raises(TypeError):
+            AsyncSession(session, max_procs=8)
+
+    def test_concurrent_queries_all_answer_against_fork_state(self):
+        async def scenario():
+            live = AsyncSession(max_procs=32, alternatives=("cons",))
+            for i in range(40):
+                await live.submit(
+                    runtime=200 + i, procs=1 + i % 16, submit_time=float(i * 3)
+                )
+            await live.advance(150.0)
+            queries = [
+                live.what_if(runtime=400, procs=8),
+                live.what_if(runtime=400, procs=8, policy="cons"),
+                live.queue_forecast(1000.0),
+                live.stats(),
+            ] + [live.what_if(runtime=400, procs=8) for _ in range(6)]
+            return await asyncio.gather(*queries)
+
+        results = run(scenario())
+        first, cons = results[0], results[1]
+        assert first.policy == "easy" and cons.policy == "cons"
+        # identical queries against the same paused state agree exactly
+        for repeat in results[4:]:
+            assert repeat.target == first.target
+            assert repeat.pending == first.pending
+
+    def test_queries_do_not_block_submissions(self):
+        async def scenario():
+            live = AsyncSession(max_procs=32)
+            for i in range(60):
+                await live.submit(
+                    runtime=2000, procs=4, submit_time=float(i)
+                )
+            await live.advance(100.0)
+            # launch a drain-everything query, then mutate while it runs
+            query = asyncio.ensure_future(live.what_if(runtime=10, procs=1))
+            await asyncio.sleep(0)  # let the query fork at t=100
+            await live.submit(runtime=5, procs=1)
+            await live.advance(dt=50.0)
+            report = await query
+            return report, await live.clock()
+
+        report, clock = run(scenario())
+        assert clock == 150.0
+        assert report.asked_at == 100.0  # answered against its fork instant
+
+    def test_field_validation(self):
+        async def scenario():
+            live = AsyncSession(max_procs=8)
+            with pytest.raises(SimulationError, match="runtime"):
+                await live.what_if(procs=3)
+
+        run(scenario())

@@ -1,0 +1,102 @@
+"""Protocol codecs: payload shapes, validation, and JSON round trips."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.serve import Session
+from repro.serve.protocol import (
+    job_from_payload,
+    job_to_payload,
+    queue_forecast_to_payload,
+    stats_to_payload,
+    what_if_to_payload,
+)
+from repro.workload.job import Job
+
+
+class TestJobCodec:
+    def test_round_trip(self):
+        job = Job(job_id=9, submit_time=12.5, runtime=100.0, estimate=150.0, procs=4)
+        payload = job_to_payload(job)
+        assert json.loads(json.dumps(payload)) == payload
+        kwargs = job_from_payload(payload)
+        assert kwargs == {
+            "job_id": 9,
+            "submit_time": 12.5,
+            "runtime": 100.0,
+            "estimate": 150.0,
+            "procs": 4,
+        }
+
+    def test_minimal_payload(self):
+        assert job_from_payload({"runtime": 5, "procs": 1}) == {
+            "runtime": 5.0,
+            "procs": 1,
+        }
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ({"procs": 1}, "missing required field 'runtime'"),
+            ({"runtime": 5}, "missing required field 'procs'"),
+            ({"runtime": "fast", "procs": 1}, "must be"),
+            ({"runtime": 5, "procs": True}, "must be"),
+            ({"runtime": 0, "procs": 1}, "runtime must be"),
+            ({"runtime": 5, "procs": 0}, "procs must be"),
+            ([1, 2], "must be an object"),
+        ],
+    )
+    def test_validation(self, payload, match):
+        with pytest.raises(SimulationError, match=match):
+            job_from_payload(payload)
+
+
+class TestReportCodecs:
+    @pytest.fixture()
+    def session(self):
+        session = Session(16)
+        for i in range(5):
+            session.submit(runtime=300, procs=4, submit_time=float(i * 10))
+        session.advance(50.0)
+        return session
+
+    def test_what_if_payload_is_json_ready(self, session):
+        report = session.what_if(runtime=100, procs=8)
+        payload = what_if_to_payload(report)
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["target"]["job_id"] == report.target.job_id
+        assert len(encoded["pending"]) == len(report.pending)
+        assert "metrics" in encoded
+        slim = what_if_to_payload(report, include_metrics=False)
+        assert "metrics" not in slim
+
+    def test_queue_forecast_payload(self, session):
+        forecast = session.queue_forecast(200.0)
+        payload = json.loads(json.dumps(queue_forecast_to_payload(forecast)))
+        assert payload["at_time"] == forecast.at_time
+        assert payload["free_procs"] == forecast.free_procs
+        assert [r["job_id"] for r in payload["running"]] == [
+            r.job_id for r in forecast.running
+        ]
+
+    def test_stats_payload(self, session):
+        payload = json.loads(json.dumps(stats_to_payload(session.stats())))
+        assert payload["submitted"] == 5
+        assert payload["metrics_mode"] == "bounded"
+        assert payload["total_procs"] == 16
+
+    def test_payloads_are_strict_json(self, session):
+        """Empty aggregates encode as null, never NaN — non-Python
+        clients must be able to parse every response."""
+        fresh = Session(8)  # zero completions: every mean is NaN
+        for payload in (
+            stats_to_payload(fresh.stats()),
+            stats_to_payload(session.stats()),
+            what_if_to_payload(session.what_if(runtime=100, procs=8)),
+            queue_forecast_to_payload(session.queue_forecast(200.0)),
+        ):
+            encoded = json.dumps(payload, allow_nan=False)  # raises on NaN
+            assert json.loads(encoded) == payload
+        assert stats_to_payload(fresh.stats())["mean_wait"] is None

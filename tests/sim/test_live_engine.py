@@ -1,0 +1,177 @@
+"""The live-session engine primitives: time-based pausing and workload
+extension, with the batch-boundary invariant enforced loudly.
+
+These are the two engine additions the serve layer is built on:
+``run_until_time`` (pause the event loop at an arbitrary simulated time,
+legal even past the last arrival or on an empty workload) and
+``extend_workload`` (swap in a superset workload whose delivered prefix
+is untouched — the streaming-submission primitive).  Every way a caller
+could silently corrupt history is a ``SimulationError`` instead.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.exec.serialize import metrics_digest
+from repro.experiments.runner import make_scheduler
+from repro.sim.engine import Simulator, simulate
+from repro.workload.job import Job, Workload
+
+
+def make_jobs(n=12, gap=50.0, runtime=120.0, procs=4):
+    return [
+        Job(
+            job_id=i + 1,
+            submit_time=i * gap,
+            runtime=runtime,
+            estimate=runtime,
+            procs=procs,
+        )
+        for i in range(n)
+    ]
+
+
+def live_sim(jobs=(), max_procs=16, kind="easy"):
+    return Simulator(
+        Workload.from_jobs(jobs, max_procs, name="w"), make_scheduler(kind)
+    )
+
+
+class TestRunUntilTime:
+    def test_pause_and_resume_matches_straight_run(self):
+        jobs = make_jobs()
+        paused = live_sim(jobs)
+        for stop in (0.0, 75.0, 75.0, 130.0, 400.0):
+            paused.run_until_time(stop)
+        result = paused.drain()
+        straight = simulate(
+            Workload.from_jobs(jobs, 16, name="w"), make_scheduler("easy")
+        )
+        assert metrics_digest(result.metrics) == metrics_digest(straight.metrics)
+
+    def test_watermark_advances_even_past_last_arrival(self):
+        sim = live_sim(make_jobs(3))
+        sim.run_until_time(1_000_000.0)
+        assert sim.watermark == 1_000_000.0
+        assert sim.completed_count == 3
+
+    def test_empty_workload_is_legal(self):
+        sim = live_sim([])
+        sim.run_until_time(0.0)
+        sim.run_until_time(500.0)
+        assert sim.completed_count == 0
+        assert sim.clock <= 500.0
+
+    def test_stops_must_be_non_decreasing(self):
+        sim = live_sim(make_jobs())
+        sim.run_until_time(100.0)
+        with pytest.raises(SimulationError, match="non-decreasing"):
+            sim.run_until_time(99.0)
+
+    @pytest.mark.parametrize("stop", [math.nan, math.inf, -1.0])
+    def test_non_finite_and_negative_stops_rejected(self, stop):
+        sim = live_sim(make_jobs())
+        with pytest.raises(SimulationError):
+            sim.run_until_time(stop)
+
+    def test_rejected_after_finalize(self):
+        sim = live_sim(make_jobs(3))
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run_until_time(10.0)
+
+    def test_batch_boundary_snapshot_after_time_pause(self):
+        """A time-based pause still lands on a batch boundary, so the
+        snapshot contract (delivered == arrivals strictly before the
+        watermark) holds and branches replay exactly."""
+        jobs = make_jobs()
+        sim = live_sim(jobs)
+        sim.run_until_time(jobs[5].submit_time)  # boundary: job 6 not delivered
+        snapshot = sim.snapshot()
+        assert snapshot.delivered == 5
+        branch = Simulator.resume(snapshot, sim.workload)
+        branch_result = branch.drain()
+        straight = simulate(
+            Workload.from_jobs(jobs, 16, name="w"), make_scheduler("easy")
+        )
+        assert metrics_digest(branch_result.metrics) == metrics_digest(
+            straight.metrics
+        )
+
+
+class TestExtendWorkload:
+    def test_streaming_submission_round(self):
+        jobs = make_jobs(12)
+        sim = live_sim(jobs[:6])
+        sim.run_until_time(200.0)
+        sim.extend_workload(Workload.from_jobs(jobs, 16, name="w"))
+        result = sim.drain()
+        straight = simulate(
+            Workload.from_jobs(jobs, 16, name="w"), make_scheduler("easy")
+        )
+        assert metrics_digest(result.metrics) == metrics_digest(straight.metrics)
+
+    def test_submission_into_the_simulated_past_is_rejected(self):
+        jobs = make_jobs(6)
+        sim = live_sim(jobs)
+        sim.run_until_time(200.0)  # delivered arrivals: t=0,50,100,150
+        # t=170 slots after every delivered arrival (prefix intact) but
+        # before the watermark — history would silently rewrite.
+        past = Job(job_id=99, submit_time=170.0, runtime=5, estimate=5, procs=1)
+        with pytest.raises(SimulationError, match="simulated past"):
+            sim.extend_workload(Workload.from_jobs([*jobs, past], 16, name="w"))
+
+    def test_submission_rewriting_the_delivered_prefix_is_rejected(self):
+        jobs = make_jobs(6)
+        sim = live_sim(jobs)
+        sim.run_until_time(200.0)
+        early = Job(job_id=99, submit_time=10.0, runtime=5, estimate=5, procs=1)
+        with pytest.raises(SimulationError, match="simulated history"):
+            sim.extend_workload(Workload.from_jobs([*jobs, early], 16, name="w"))
+
+    def test_delivered_prefix_must_be_identical(self):
+        jobs = make_jobs(6)
+        sim = live_sim(jobs)
+        sim.run_until_time(200.0)  # jobs 1-4 delivered (t=0,50,100,150)
+        mutated = [
+            job if job.job_id != 2 else Job(
+                job_id=2,
+                submit_time=job.submit_time,
+                runtime=job.runtime * 2,
+                estimate=job.estimate * 2,
+                procs=job.procs,
+            )
+            for job in jobs
+        ]
+        with pytest.raises(SimulationError):
+            sim.extend_workload(Workload.from_jobs(mutated, 16, name="w"))
+
+    def test_dropping_pending_jobs_is_rejected(self):
+        jobs = make_jobs(6)
+        sim = live_sim(jobs)
+        sim.run_until_time(200.0)
+        with pytest.raises(SimulationError):
+            sim.extend_workload(Workload.from_jobs(jobs[:5], 16, name="w"))
+
+    def test_machine_size_must_match(self):
+        sim = live_sim(make_jobs(3))
+        sim.run_until_time(10.0)
+        with pytest.raises(SimulationError):
+            sim.extend_workload(Workload.from_jobs(make_jobs(3), 32, name="w"))
+
+    def test_rejected_after_finalize(self):
+        jobs = make_jobs(3)
+        sim = live_sim(jobs)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.extend_workload(Workload.from_jobs(make_jobs(4), 16, name="w"))
+
+    def test_extension_on_empty_workload(self):
+        sim = live_sim([], max_procs=16)
+        sim.run_until_time(100.0)
+        late = Job(job_id=1, submit_time=150.0, runtime=10, estimate=10, procs=1)
+        sim.extend_workload(Workload.from_jobs([late], 16, name="w"))
+        sim.run_until_time(200.0)
+        assert sim.completed_count == 1

@@ -28,6 +28,12 @@ def test_top_level_all_is_complete_and_importable():
 
 def test_readme_taught_names_exist():
     taught = [
+        "Session",
+        "AsyncSession",
+        "WhatIfReport",
+        "StreamingMetrics",
+        "ExecConfig",
+        "set_default_executor",
         "CTCGenerator",
         "SDSCGenerator",
         "EasyScheduler",
@@ -90,3 +96,41 @@ def test_scheduler_registry_matches_exports():
     for kind in SCHEDULER_KINDS:
         scheduler = make_scheduler(kind)
         assert scheduler.describe()
+
+
+def test_serve_surface_is_pinned():
+    """The serve package's advertised session API: these names are what
+    README/TUTORIAL teach, so renaming any of them is a breaking change."""
+    from repro import serve
+
+    expected = {
+        "Session",
+        "SessionBranch",
+        "SessionSnapshot",
+        "SessionStats",
+        "WhatIfReport",
+        "QueueForecast",
+        "JobForecast",
+        "RunningJob",
+        "AsyncSession",
+        "make_server",
+        "serve_forever",
+    }
+    assert expected <= set(serve.__all__)
+    for method in ("submit", "advance", "snapshot", "what_if", "queue_forecast"):
+        assert callable(getattr(serve.Session, method)), (
+            f"Session.{method} is part of the advertised session API"
+        )
+
+
+def test_configure_is_a_deprecation_shim():
+    """configure() must keep working but must warn, steering callers to
+    ExecConfig + set_default_executor."""
+    from repro import exec as exec_pkg
+
+    try:
+        with pytest.warns(DeprecationWarning, match="ExecConfig"):
+            executor = exec_pkg.configure(parallel=1)
+        assert exec_pkg.default_executor() is executor
+    finally:
+        exec_pkg.set_default_executor(None)

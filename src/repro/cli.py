@@ -223,6 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--priority", default="FCFS", choices=list(PRIORITY_POLICIES)
     )
+    sim.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        type=int,
+        default=None,
+        metavar="N",
+        help="cProfile the run and print the top N functions by cumulative "
+        "time to stderr (default N: 25)",
+    )
 
     gen = sub.add_parser(
         "generate",
@@ -367,6 +377,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    profiler = None
+    if args.profile is not None:
+        # Covers workload construction AND the event loop — per-cell
+        # workload costs are exactly what hot-loop work chases, so
+        # excluding them would hide the interesting part of the profile.
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     if args.swf:
         # SWF files are not describable as a WorkloadSpec, so this path
         # cannot go through the cell cache; simulate directly.
@@ -393,6 +412,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # runs the same simulate() call.
         _configure_execution(args)
         metrics = run_cells([Cell.make(spec, args.scheduler, args.priority)])[0]
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        pstats.Stats(profiler, stream=sys.stderr).sort_stats(
+            "cumulative"
+        ).print_stats(args.profile)
     overall = metrics.overall
     print(f"workload : {workload_name} ({len(workload)} jobs, "
           f"{workload.max_procs} procs, offered load {workload.offered_load:.3f})")

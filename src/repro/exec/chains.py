@@ -119,18 +119,26 @@ def _run_chain_forked(group: Sequence[Cell]) -> tuple[list[StoredResult], int]:
     simulation); :class:`SimulationError` from the checkpoint machinery
     propagates for the same treatment.
     """
-    from repro.experiments.runner import cached_workload, make_scheduler
+    import numpy as np
+
+    from repro.experiments.runner import cached_table, make_scheduler
     from repro.sim.engine import Simulator
 
     full_cell = group[-1]
-    workloads = [cached_workload(cell.spec) for cell in group]
-    full = workloads[-1]
-    for cell, workload in zip(group[:-1], workloads[:-1]):
-        n = len(workload.jobs)
+    tables = [cached_table(cell.spec) for cell in group]
+    full = tables[-1]
+    for cell, table in zip(group[:-1], tables[:-1]):
+        n = len(table)
+        # Columnar prefix verification: every column equal to the full
+        # table's first n rows — value-identical to the job-tuple
+        # comparison the row path ran, without materializing a Job.
         if (
-            workload.max_procs != full.max_procs
-            or n >= len(full.jobs)
-            or workload.jobs != full.jobs[:n]
+            table.max_procs != full.max_procs
+            or n >= len(full)
+            or not all(
+                np.array_equal(arr, full.columns[name][:n])
+                for name, arr in table.columns.items()
+            )
         ):
             raise _ChainInfeasible(cell.label())
 
@@ -141,10 +149,10 @@ def _run_chain_forked(group: Sequence[Cell]) -> tuple[list[StoredResult], int]:
     results: list[StoredResult] = []
     forks = 0
     mark = time.perf_counter()
-    for cell, workload in zip(group[:-1], workloads[:-1]):
-        trunk.run_until(len(workload.jobs))
+    for cell, table in zip(group[:-1], tables[:-1]):
+        trunk.run_until(len(table))
         snap = trunk.snapshot()
-        branch = Simulator.resume(snap, workload)
+        branch = Simulator.resume(snap, table)
         result = branch.drain()
         forks += 1
         now = time.perf_counter()

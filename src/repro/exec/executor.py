@@ -71,12 +71,12 @@ def simulate_cell(cell: Cell) -> StoredResult:
     serial path; workload construction is memoized per process through
     the runner's bounded workload cache.
     """
-    from repro.experiments.runner import cached_workload, make_scheduler
+    from repro.experiments.runner import cached_table, make_scheduler
     from repro.sim.engine import simulate
 
     started = time.perf_counter()
     result = simulate(
-        cached_workload(cell.spec),
+        cached_table(cell.spec),
         make_scheduler(cell.kind, cell.priority, **cell.options_dict),
     )
     return StoredResult(

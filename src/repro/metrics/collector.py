@@ -76,6 +76,37 @@ class CompletedJob:
                 f"expected {self.job.effective_runtime}s"
             )
 
+    @classmethod
+    def _trusted(
+        cls,
+        job: Job,
+        start_time: float,
+        finish_time: float,
+        _new=object.__new__,
+        _set_job=None,
+        _set_start=None,
+        _set_finish=None,
+    ) -> "CompletedJob":
+        """Engine-internal constructor, skipping ``__post_init__``.
+
+        For records the simulator's event loop builds itself: the start
+        time is the clock at allocation (>= the arrival batch, hence >=
+        submission) and the finish time is the very value the engine
+        pushed as ``start + effective_runtime``, so both checks hold by
+        construction and re-running them per completion only taxes the
+        hot loop.  Externally assembled records must use the validated
+        constructor.  Writes go through the slot member descriptors
+        (bound below, once the class exists) — same trick as
+        ``Job._from_trusted_columns``: frozen only overrides
+        ``__setattr__``, and the pre-bound ``__set__`` skips the
+        per-call attribute-name lookup.
+        """
+        record = _new(cls)
+        _set_job(record, job)
+        _set_start(record, start_time)
+        _set_finish(record, finish_time)
+        return record
+
     @property
     def wait(self) -> float:
         return wait_time(self.job.submit_time, self.start_time)
@@ -95,6 +126,16 @@ class CompletedJob:
     @property
     def estimate_quality(self) -> EstimateQuality:
         return estimate_quality(self.job)
+
+
+# The slot member descriptors only exist once the class object does, so
+# ``_trusted``'s setter defaults are bound here rather than inline.
+CompletedJob._trusted.__func__.__defaults__ = (
+    object.__new__,
+    CompletedJob.__dict__["job"].__set__,
+    CompletedJob.__dict__["start_time"].__set__,
+    CompletedJob.__dict__["finish_time"].__set__,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -273,12 +314,37 @@ def summarize_columns(
         return summarize_rows(
             records, utilization=utilization, makespan=makespan
         )
-    submit = np.fromiter((r.job.submit_time for r in records), np.float64, count=n)
-    start = np.fromiter((r.start_time for r in records), np.float64, count=n)
-    finish = np.fromiter((r.finish_time for r in records), np.float64, count=n)
-    runtime = np.fromiter((r.job.runtime for r in records), np.float64, count=n)
-    estimate = np.fromiter((r.job.estimate for r in records), np.float64, count=n)
-    procs = np.fromiter((r.job.procs for r in records), np.int64, count=n)
+    # One pass over the records instead of six: each column used to be
+    # its own ``np.fromiter`` over a generator, which re-resumed a
+    # generator frame and re-read ``r.job`` per element per column.
+    # The values are the same Python floats either way, so the arrays
+    # (and everything derived from them) stay bit-identical.
+    submit_l: list[float] = []
+    start_l: list[float] = []
+    finish_l: list[float] = []
+    runtime_l: list[float] = []
+    estimate_l: list[float] = []
+    procs_l: list[int] = []
+    a_submit = submit_l.append
+    a_start = start_l.append
+    a_finish = finish_l.append
+    a_runtime = runtime_l.append
+    a_estimate = estimate_l.append
+    a_procs = procs_l.append
+    for r in records:
+        job = r.job
+        a_submit(job.submit_time)
+        a_start(r.start_time)
+        a_finish(r.finish_time)
+        a_runtime(job.runtime)
+        a_estimate(job.estimate)
+        a_procs(job.procs)
+    submit = np.array(submit_l, np.float64)
+    start = np.array(start_l, np.float64)
+    finish = np.array(finish_l, np.float64)
+    runtime = np.array(runtime_l, np.float64)
+    estimate = np.array(estimate_l, np.float64)
+    procs = np.array(procs_l, np.int64)
 
     waits = np.maximum(start - submit, 0.0)
     turnarounds = np.maximum(finish - submit, 0.0)

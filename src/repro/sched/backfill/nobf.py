@@ -28,10 +28,23 @@ class FCFSScheduler(Scheduler):
         pass  # no state beyond the base queue/running bookkeeping
 
     def _schedule_pass(self, now: float) -> list[Job]:
-        machine = self._machine()
-        free = machine.free_procs
+        queue = self._queue
+        if not queue:
+            return []
+        free = self._machine().free_procs
+        if self._queue_is_sorted:
+            # The queue IS the priority order: count the fitting prefix
+            # and take it in one slice instead of copy + per-job removal.
+            count = 0
+            for job in queue:
+                procs = job.procs
+                if procs > free:
+                    break  # head of queue blocks; no skipping ever
+                free -= procs
+                count += 1
+            return self._pop_queue_prefix(count) if count else []
         started: list[Job] = []
-        for job in self._ordered_queue(now):
+        for job in self.priority.sort(queue, now):
             if job.procs > free:
                 break  # head of queue blocks; no skipping ever
             self._dequeue(job)

@@ -53,6 +53,7 @@ from repro.metrics.streaming import StreamingMetrics
 from repro.sched.base import Scheduler
 from repro.sim.engine import SimulationSnapshot, Simulator
 from repro.workload.job import Job, Workload
+from repro.workload.table import JobTable
 
 __all__ = [
     "Session",
@@ -516,6 +517,61 @@ class Session:
         self._next_id = max(self._next_id, job.job_id + 1)
         self._dirty = True
         return job.job_id
+
+    def submit_table(self, table: JobTable) -> tuple[int, ...]:
+        """Bulk-queue every job of a columnar table; returns the ids.
+
+        The table analogue of calling :meth:`submit` per row, with the
+        same refusals (no submissions into the simulated past, no id
+        collisions, ids below the reservation base) — but checked over
+        whole columns and materialized once through the trusted bulk
+        constructor, so feeding a session a trace segment costs no
+        per-job Python validation.  The table itself proved the per-row
+        invariants at construction.
+        """
+        n = len(table)
+        if n == 0:
+            return ()
+        import numpy as np
+
+        submit = table.columns["submit_time"]
+        past = submit < self._now
+        if past.any():
+            index = int(np.argmax(past))
+            job_id = int(table.columns["job_id"][index])
+            raise SimulationError(
+                f"cannot submit job {job_id} at t={float(submit[index])}: the "
+                f"session already simulated up to t={self._now} "
+                "(submissions into the simulated past would silently rewrite "
+                "history; this session refuses instead)"
+            )
+        ids = table.columns["job_id"]
+        if table.columns["procs"].max() > self.total_procs:
+            index = int(np.argmax(table.columns["procs"] > self.total_procs))
+            raise SimulationError(
+                f"job {int(ids[index])} needs "
+                f"{int(table.columns['procs'][index])} procs but the session "
+                f"machine has {self.total_procs}"
+            )
+        if int(ids.max()) > _MAX_JOB_ID:
+            index = int(np.argmax(ids > _MAX_JOB_ID))
+            raise SimulationError(
+                f"job id {int(ids[index])} exceeds the maximum {_MAX_JOB_ID}"
+            )
+        # Duplicates *within* the table were rejected at its construction;
+        # only collisions against already-submitted jobs remain.
+        taken = np.fromiter(
+            (job.job_id for job in self._jobs), dtype=ids.dtype, count=len(self._jobs)
+        )
+        collisions = np.isin(ids, taken)
+        if collisions.any():
+            raise SimulationError(
+                f"duplicate job id {int(ids[int(np.argmax(collisions))])}"
+            )
+        self._jobs.extend(Job._from_trusted_columns(table.field_lists()))
+        self._next_id = max(self._next_id, int(ids.max()) + 1)
+        self._dirty = True
+        return tuple(int(job_id) for job_id in ids)
 
     def _flush(self) -> None:
         """Push buffered submissions into every live simulator."""

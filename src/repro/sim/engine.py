@@ -1,10 +1,15 @@
 """The simulation engine.
 
-:class:`Simulator` replays a :class:`~repro.workload.job.Workload` through a
+:class:`Simulator` replays a workload — a row
+:class:`~repro.workload.job.Workload` or a columnar
+:class:`~repro.workload.table.JobTable`, absorbed behind an *arrival
+feed* (:mod:`repro.sim.feed`, DESIGN.md section 12) — through a
 :class:`~repro.sched.base.Scheduler` on a
 :class:`~repro.cluster.machine.Machine` and returns a
 :class:`SimulationResult` holding every job's outcome plus run-level
-accounting.
+accounting.  Table-fed jobs materialize lazily per arrival batch via
+the trusted bulk constructor; the two feeds produce byte-identical
+schedules.
 
 Event protocol (see :mod:`repro.sim.events` for the tie-breaking rules):
 
@@ -67,8 +72,10 @@ from repro.errors import SchedulingError, SimulationError
 from repro.metrics.collector import CompletedJob, RunMetrics, summarize
 from repro.sched.base import Scheduler
 from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.feed import make_feed
 from repro.sim.trace import EventTrace
 from repro.workload.job import Job, Workload
+from repro.workload.table import JobTable
 
 __all__ = ["Simulator", "SimulationResult", "SimulationSnapshot", "simulate"]
 
@@ -88,8 +95,16 @@ class SimulationResult:
         return self.metrics.records
 
     def start_times(self) -> dict[int, float]:
-        """job_id -> start time (the schedule itself; used by equivalence tests)."""
-        return {r.job.job_id: r.start_time for r in self.metrics.records}
+        """job_id -> start time (the schedule itself; used by equivalence tests).
+
+        Computed once and cached — the equivalence suites call it
+        repeatedly per comparison, and the records never change.
+        """
+        cached = self.__dict__.get("_start_times_cache")
+        if cached is None:
+            cached = {r.job.job_id: r.start_time for r in self.metrics.records}
+            object.__setattr__(self, "_start_times_cache", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -141,15 +156,16 @@ class Simulator:
 
     def __init__(
         self,
-        workload: Workload,
+        workload: Workload | JobTable,
         scheduler: Scheduler,
         *,
         trace: EventTrace | None = None,
         metrics_sink=None,
+        _feed=None,
     ) -> None:
-        self.workload = workload
+        self._feed = _feed if _feed is not None else make_feed(workload)
         self.scheduler = scheduler
-        self.machine = Machine(workload.max_procs)
+        self.machine = Machine(self._feed.max_procs)
         self.trace = trace
         self.clock = 0.0
         self._metrics_sink = metrics_sink
@@ -170,6 +186,16 @@ class Simulator:
 
     # -- internals ------------------------------------------------------------
 
+    @property
+    def workload(self) -> Workload:
+        """The workload in row form.
+
+        Table-fed simulations materialize it lazily (trusted, cached by
+        the feed) — the hot path never touches it, only external
+        inspection does.
+        """
+        return self._feed.as_workload()
+
     def _record_trace(self, action: str, job: Job) -> None:
         if self.trace is not None:
             self.trace.record(
@@ -180,19 +206,6 @@ class Simulator:
                 self.scheduler.queue_length,
                 self.machine.free_procs,
             )
-
-    def _start_jobs(self, jobs: list[Job]) -> None:
-        for job in jobs:
-            if job.job_id in self._start_times:
-                raise SimulationError(
-                    f"scheduler tried to start job {job.job_id} twice"
-                )
-            self.machine.allocate(job, self.clock)
-            self._start_times[job.job_id] = self.clock
-            self.scheduler.notify_started(job, self.clock)
-            finish = self.clock + job.effective_runtime
-            self._events.push(Event(finish, EventKind.JOB_FINISH, job))
-            self._record_trace("start", job)
 
     #: Blocker job ids for advance reservations start here; workload ids
     #: must stay below.
@@ -215,7 +228,7 @@ class Simulator:
                 "only profile-planning disciplines (conservative, selective, "
                 "depth) can pack around a hard future rectangle"
             )
-        if any(job.job_id >= self._BLOCKER_ID_BASE for job in self.workload):
+        if self._feed.has_id_at_or_above(self._BLOCKER_ID_BASE):
             raise SimulationError(
                 f"workload job ids must stay below {self._BLOCKER_ID_BASE} "
                 "when advance reservations are used"
@@ -234,57 +247,12 @@ class Simulator:
             self._blocker_ids.add(blocker.job_id)
             self._events.push(Event(ar.start, EventKind.JOB_ARRIVAL, blocker))
 
-    def _handle_blocker_arrival(self, blocker: Job) -> None:
-        self.machine.allocate(blocker, self.clock)
-        self._events.push(
-            Event(self.clock + blocker.runtime, EventKind.JOB_FINISH, blocker)
-        )
-
-    def _handle_arrival(self, job: Job) -> None:
-        started = self.scheduler.on_arrival(job, self.clock)
-        # Recorded after the scheduler reacted so the trace reflects the
-        # post-event state (queue depth including the job if it queued).
-        self._record_trace("arrive", job)
-        self._start_jobs(started)
-
     def _request_wakeup(self, time: float) -> None:
         """Schedule a TIMER event at ``time`` (deduplicated, never in the past)."""
         when = max(time, self.clock)
         if when not in self._timer_times:
             self._timer_times.add(when)
             self._events.push(Event(when, EventKind.TIMER, None))
-
-    def _handle_timer(self) -> None:
-        self._timer_times.discard(self.clock)
-        started = self.scheduler.on_wakeup(self.clock)
-        self._start_jobs(started)
-
-    def _release_finished(self, job: Job) -> None:
-        """Phase 1 of a completion: release processors, record the outcome.
-
-        Separated from the scheduler reaction so that *all* completions
-        sharing a timestamp release their processors before any scheduling
-        decision runs — real schedulers batch their wakeups the same way,
-        and a reservation anchored at two simultaneous completions must
-        observe both.
-        """
-        start = self._start_times.get(job.job_id)
-        if start is None:
-            raise SimulationError(f"finish event for never-started job {job.job_id}")
-        self.machine.release(job, self.clock)
-        self.scheduler.notify_finished(job, self.clock)
-        record = CompletedJob(job, start, self.clock)
-        if self._metrics_sink is not None:
-            # Streaming mode: the sink folds the record into its O(1)
-            # accumulators and the engine drops every per-job trace of
-            # the finished job, so long-lived sessions stay bounded.
-            self._metrics_sink.observe(record)
-            del self._start_times[job.job_id]
-        else:
-            self._completed.append(record)
-        self._completed_count += 1
-        self._pending -= 1
-        self._record_trace("finish", job)
 
     # -- the event loop ---------------------------------------------------------
 
@@ -293,87 +261,217 @@ class Simulator:
         self._primed = True
         self.scheduler.bind(self.machine, self._request_wakeup)
         self._install_advance_reservations()
-        self._pending = len(self.workload)
-
-    def _next_batch_time(self) -> float:
-        """Timestamp of the next batch: earliest queue event or fed arrival."""
-        queue_time = self._events.next_time
-        if self._arrival_index < len(self.workload):
-            arrival_time = self.workload[self._arrival_index].submit_time
-            return arrival_time if arrival_time < queue_time else queue_time
-        return queue_time
-
-    def _process_batch(self, batch_time: float) -> None:
-        """Process every event at exactly ``batch_time``.
-
-        The batch merges queue events (finishes, timers, blocker arrivals
-        — popped in kind/sequence order) with the workload arrivals due at
-        this timestamp, fed from the sorted workload.  Because workload
-        arrivals are never *pushed*, the merge reproduces the ordering the
-        pre-checkpoint engine got from pushing all arrivals up front:
-        engine-generated events carry lower sequence numbers than any
-        arrival at the same instant would, and arrivals sort last by kind
-        anyway.  Events pushed *during* processing at the same timestamp
-        form the next batch.
-        """
-        if batch_time < self.clock - 1e-9:
-            raise SimulationError(
-                f"time went backwards: {self.clock} -> {batch_time}"
-            )
-        self.clock = max(self.clock, batch_time)
-        # Prune timer-dedup entries for strictly-past timestamps: their
-        # TIMER events have fired and new requests clamp to >= clock, so
-        # they can never match again — without this the set grows
-        # monotonically over long traces.  Entries at exactly ``clock``
-        # stay: their events may be in this very batch, and
-        # _handle_timer discards them on the exact float.  The scan is
-        # amortized: it runs only once the set doubles past the last
-        # prune's survivor count, so a deep queue of genuinely live
-        # future timers is not rescanned every batch.
-        if len(self._timer_times) > self._timer_prune_at:
-            self._timer_times = {t for t in self._timer_times if t >= self.clock}
-            self._timer_prune_at = max(256, 2 * len(self._timer_times))
-        batch = self._events.pop_batch(batch_time)
-        jobs = self.workload.jobs
-        index = self._arrival_index
-        while index < len(jobs) and jobs[index].submit_time == batch_time:
-            batch.append(Event(batch_time, EventKind.JOB_ARRIVAL, jobs[index]))
-            index += 1
-        self._arrival_index = index
-        self._events_processed += len(batch)
-
-        finishes = [e.job for e in batch if e.kind is EventKind.JOB_FINISH]
-        for job in finishes:
-            assert job is not None
-            if job.job_id in self._blocker_ids:
-                self.machine.release(job, self.clock)
-            else:
-                self._release_finished(job)
-        for job in finishes:
-            assert job is not None
-            if job.job_id in self._blocker_ids:
-                # The scheduler never saw the blocker, but its plan may
-                # anchor starts at the window's end — poke it.
-                self._start_jobs(self.scheduler.poke(self.clock))
-                continue
-            self._start_jobs(self.scheduler.on_finish(job, self.clock))
-        for event in batch:
-            if event.kind is EventKind.TIMER:
-                self._handle_timer()
-            elif event.kind is EventKind.JOB_ARRIVAL:
-                assert event.job is not None
-                if event.job.job_id in self._blocker_ids:
-                    self._handle_blocker_arrival(event.job)
-                else:
-                    self._handle_arrival(event.job)
+        self._pending = self._feed.n
 
     def _advance_until(self, stop_time: float) -> None:
-        """Process batches strictly before ``stop_time`` (inf = drain all)."""
-        while True:
-            batch_time = self._next_batch_time()
-            if batch_time >= stop_time:
-                return
-            self._process_batch(batch_time)
+        """Process batches strictly before ``stop_time`` (inf = drain all).
+
+        This is THE hot loop of a simulation — profiling a 90-cell sweep
+        puts ~70% of wall-clock here and in the scheduler passes it calls
+        — so it trades a little readability for speed: every attribute
+        and method it touches per event is hoisted into a local once per
+        call, and the mutable counters are plain locals written back in
+        the ``finally`` (the same values the attribute-per-event version
+        maintained, including mid-batch on an engine error).
+
+        Each iteration processes one *batch*: every event at the next
+        timestamp, merging queue events (finishes, timers, blocker
+        arrivals — popped in kind/sequence order) with the workload
+        arrivals due then, fed from the sorted feed.  Because workload
+        arrivals are never *pushed*, the merge reproduces the ordering
+        the pre-checkpoint engine got from pushing all arrivals up front:
+        engine-generated events carry lower sequence numbers than any
+        arrival at the same instant would, and arrivals sort last by kind
+        anyway.  Within a batch, *all* completions release their
+        processors (phase 1) before any scheduling decision runs (phase
+        2) — real schedulers batch their wakeups the same way, and a
+        reservation anchored at two simultaneous completions must observe
+        both.  Events pushed *during* processing at the same timestamp
+        form the next batch.  Table-fed jobs materialize here, batch by
+        batch, through the trusted constructor — a paused run never
+        builds the jobs it has not reached.
+        """
+        feed = self._feed
+        submit_times = feed.submit_times
+        materialize = feed.materialize
+        n_jobs = feed.n
+        events = self._events
+        heap = events._heap
+        push_finish = events.push_finish
+        pop_batch = events.pop_batch
+        machine = self.machine
+        scheduler = self.scheduler
+        on_arrival = scheduler.on_arrival
+        on_finish = scheduler.on_finish
+        on_wakeup = scheduler.on_wakeup
+        notify_started = scheduler.notify_started
+        notify_finished = scheduler.notify_finished
+        poke = scheduler.poke
+        blockers = self._blocker_ids
+        start_times = self._start_times
+        sink = self._metrics_sink
+        record_append = self._completed.append
+        trusted_completed = CompletedJob._trusted
+        timer_times = self._timer_times
+        trace = self.trace
+        record_trace = self._record_trace
+        timer_kind = EventKind.TIMER
+        finish_kind = EventKind.JOB_FINISH
+        inf = math.inf
+        index = self._arrival_index
+        clock = self.clock
+        events_processed = self._events_processed
+        completed_count = self._completed_count
+        pending = self._pending
+
+        def start_jobs(started):
+            # Allocate + bookkeep every job the scheduler returned; the
+            # closure reads the enclosing ``clock`` so it always sees the
+            # current batch time.
+            for job in started:
+                jid = job.job_id
+                if jid in start_times:
+                    raise SimulationError(
+                        f"scheduler tried to start job {jid} twice"
+                    )
+                machine.allocate(job, clock)
+                start_times[jid] = clock
+                notify_started(job, clock)
+                runtime = job.runtime
+                estimate = job.estimate
+                push_finish(
+                    clock + (runtime if runtime < estimate else estimate), job
+                )
+                if trace is not None:
+                    record_trace("start", job)
+
+        try:
+            while True:
+                queue_time = heap[0][0][0] if heap else inf
+                if index < n_jobs:
+                    arrival_time = submit_times[index]
+                    batch_time = (
+                        arrival_time if arrival_time < queue_time else queue_time
+                    )
+                else:
+                    batch_time = queue_time
+                if batch_time >= stop_time:
+                    return
+                if batch_time < clock - 1e-9:
+                    raise SimulationError(
+                        f"time went backwards: {clock} -> {batch_time}"
+                    )
+                if batch_time > clock:
+                    clock = batch_time
+                    self.clock = batch_time
+                # Prune timer-dedup entries for strictly-past timestamps:
+                # their TIMER events have fired and new requests clamp to
+                # >= clock, so they can never match again — without this
+                # the set grows monotonically over long traces.  Entries
+                # at exactly ``clock`` stay: their events may be in this
+                # very batch, and the timer handler discards them on the
+                # exact float.  The scan is amortized: it runs only once
+                # the set doubles past the last prune's survivor count,
+                # so a deep queue of genuinely live future timers is not
+                # rescanned every batch.
+                if len(timer_times) > self._timer_prune_at:
+                    timer_times.difference_update(
+                        [t for t in timer_times if t < clock]
+                    )
+                    self._timer_prune_at = max(256, 2 * len(timer_times))
+                # Arrival-only instants (the common case under light
+                # contention) skip the queue entirely.
+                batch = pop_batch(batch_time) if queue_time == batch_time else ()
+                first = index
+                while index < n_jobs and submit_times[index] == batch_time:
+                    index += 1
+                events_processed += len(batch) + (index - first)
+
+                if batch:
+                    n_batch = len(batch)
+                    n_finish = 0
+                    while (
+                        n_finish < n_batch
+                        and batch[n_finish].kind is finish_kind
+                    ):
+                        n_finish += 1
+                    # Phase 1: every completion at this instant releases
+                    # its processors and records its outcome.
+                    for k in range(n_finish):
+                        job = batch[k].job
+                        jid = job.job_id
+                        if blockers and jid in blockers:
+                            machine.release(job, clock)
+                            continue
+                        start = start_times.get(jid)
+                        if start is None:
+                            raise SimulationError(
+                                f"finish event for never-started job {jid}"
+                            )
+                        machine.release(job, clock)
+                        notify_finished(job, clock)
+                        record = trusted_completed(job, start, clock)
+                        if sink is not None:
+                            # Streaming mode: the sink folds the record
+                            # into its O(1) accumulators and the engine
+                            # drops every per-job trace of the finished
+                            # job, so long-lived sessions stay bounded.
+                            sink.observe(record)
+                            del start_times[jid]
+                        else:
+                            record_append(record)
+                        completed_count += 1
+                        pending -= 1
+                        if trace is not None:
+                            record_trace("finish", job)
+                    # Phase 2: scheduling reactions to the completions.
+                    for k in range(n_finish):
+                        job = batch[k].job
+                        if blockers and job.job_id in blockers:
+                            # The scheduler never saw the blocker, but its
+                            # plan may anchor starts at the window's end —
+                            # poke it.
+                            started = poke(clock)
+                        else:
+                            started = on_finish(job, clock)
+                        if started:
+                            start_jobs(started)
+                    for k in range(n_finish, n_batch):
+                        event = batch[k]
+                        if event.kind is timer_kind:
+                            timer_times.discard(clock)
+                            started = on_wakeup(clock)
+                            if started:
+                                start_jobs(started)
+                        else:
+                            # Queue arrivals are only AR blockers (workload
+                            # arrivals are fed, never pushed); the id check
+                            # guards against future misuse.
+                            job = event.job
+                            if job.job_id in blockers:
+                                machine.allocate(job, clock)
+                                push_finish(clock + job.runtime, job)
+                            else:
+                                started = on_arrival(job, clock)
+                                if trace is not None:
+                                    record_trace("arrive", job)
+                                if started:
+                                    start_jobs(started)
+                if index > first:
+                    for job in materialize(first, index):
+                        started = on_arrival(job, clock)
+                        # Recorded after the scheduler reacted so the trace
+                        # reflects the post-event state (queue depth
+                        # including the job if it queued).
+                        if trace is not None:
+                            record_trace("arrive", job)
+                        if started:
+                            start_jobs(started)
+        finally:
+            self._arrival_index = index
+            self._events_processed = events_processed
+            self._completed_count = completed_count
+            self._pending = pending
 
     def _finalize(self) -> SimulationResult:
         self._finalized = True
@@ -383,15 +481,14 @@ class Simulator:
                 f"simulation drained its events with {self._pending} jobs "
                 f"unfinished (still queued: {stuck[:10]}{'...' if len(stuck) > 10 else ''})"
             )
-        if self._completed_count != len(self.workload):
+        if self._completed_count != self._feed.n:
             raise SimulationError(
-                f"completed {self._completed_count} of {len(self.workload)} jobs"
+                f"completed {self._completed_count} of {self._feed.n} jobs"
             )
 
+        # The feed is submit-sorted, so the first submit time is the min.
         makespan = self.clock - (
-            min(job.submit_time for job in self.workload)
-            if len(self.workload)
-            else 0.0
+            self._feed.submit_times[0] if self._feed.n else 0.0
         )
         if self._metrics_sink is not None:
             metrics = self._metrics_sink.run_metrics(
@@ -404,7 +501,7 @@ class Simulator:
                 makespan=makespan,
             )
         return SimulationResult(
-            workload_name=self.workload.name,
+            workload_name=self._feed.name,
             scheduler_name=self.scheduler.describe(),
             metrics=metrics,
             events_processed=self._events_processed,
@@ -462,9 +559,9 @@ class Simulator:
         """
         if self._finalized:
             raise SimulationError("run_until() after the simulation finished")
-        if not 0 < job_count < len(self.workload):
+        if not 0 < job_count < self._feed.n:
             raise SimulationError(
-                f"run_until() needs 0 < job_count < {len(self.workload)}, "
+                f"run_until() needs 0 < job_count < {self._feed.n}, "
                 f"got {job_count} (use run() or drain() for a full run)"
             )
         if not self._primed:
@@ -472,7 +569,7 @@ class Simulator:
                 raise SimulationError("run_until() after run() on the same instance")
             self._ran = True
             self._prime()
-        stop_time = self.workload[job_count].submit_time
+        stop_time = self._feed.submit_times[job_count]
         if stop_time < self._watermark:
             raise SimulationError(
                 f"run_until() horizons must be non-decreasing: job {job_count} "
@@ -523,14 +620,17 @@ class Simulator:
         self._advance_until(stop_time)
         self._watermark = stop_time
 
-    def extend_workload(self, workload: Workload) -> None:
+    def extend_workload(self, workload: Workload | JobTable) -> None:
         """Swap in a workload that extends this one with future arrivals.
 
         The streaming-submission primitive behind the serve layer's
-        :class:`~repro.serve.Session`: arrivals are fed lazily from
-        ``self.workload``, so a paused simulation can accept new jobs by
-        replacing the workload with a superset — provided the simulated
-        history stays intact.  Enforced, with a clear
+        :class:`~repro.serve.Session`: arrivals are fed lazily, so a
+        paused simulation can accept new jobs by replacing the workload
+        with a superset — provided the simulated history stays intact.
+        Accepts either a row :class:`Workload` or a columnar
+        :class:`JobTable` (two table-fed feeds validate their shared
+        prefix by column comparison, no ``Job`` objects involved).
+        Enforced, with a clear
         :class:`~repro.errors.SimulationError` instead of silent drift:
 
         * same machine size;
@@ -544,47 +644,50 @@ class Simulator:
         """
         if self._finalized:
             raise SimulationError("extend_workload() after the simulation finished")
-        if workload.max_procs != self.workload.max_procs:
+        old_feed = self._feed
+        new_feed = make_feed(workload)
+        if new_feed.max_procs != old_feed.max_procs:
             raise SimulationError(
                 f"extend_workload() cannot change the machine size "
-                f"({self.workload.max_procs} -> {workload.max_procs} procs)"
+                f"({old_feed.max_procs} -> {new_feed.max_procs} procs)"
             )
         delivered = self._arrival_index
-        if len(workload) < delivered:
+        if new_feed.n < delivered:
             raise SimulationError(
-                f"extend_workload() got {len(workload)} jobs but "
+                f"extend_workload() got {new_feed.n} jobs but "
                 f"{delivered} arrivals were already simulated"
             )
-        for old, new in zip(self.workload.jobs[:delivered], workload.jobs[:delivered]):
-            if old != new:
-                raise SimulationError(
-                    f"extend_workload() disagrees with the simulated history: "
-                    f"delivered job {old.job_id} changed"
-                )
-        for job in workload.jobs[delivered:]:
-            if job.submit_time < self._watermark:
-                raise SimulationError(
-                    f"cannot submit job {job.job_id} at t={job.submit_time}, "
-                    f"in the simulated past (time is already at "
-                    f"{self._watermark})"
-                )
-        pending_old = {job.job_id for job in self.workload.jobs[delivered:]}
-        pending_new = {job.job_id for job in workload.jobs[delivered:]}
-        lost = pending_old - pending_new
+        mismatch = old_feed.first_prefix_mismatch(new_feed, delivered)
+        if mismatch is not None:
+            changed = old_feed.materialize(mismatch, mismatch + 1)[0]
+            raise SimulationError(
+                f"extend_workload() disagrees with the simulated history: "
+                f"delivered job {changed.job_id} changed"
+            )
+        # The feed is submit-sorted, so the first undelivered job is the
+        # earliest; checking it checks them all.
+        if new_feed.n > delivered and new_feed.submit_times[delivered] < self._watermark:
+            offender = new_feed.materialize(delivered, delivered + 1)[0]
+            raise SimulationError(
+                f"cannot submit job {offender.job_id} at t={offender.submit_time}, "
+                f"in the simulated past (time is already at "
+                f"{self._watermark})"
+            )
+        lost = old_feed.ids_from(delivered) - new_feed.ids_from(delivered)
         if lost:
             raise SimulationError(
                 f"extend_workload() dropped pending jobs {sorted(lost)[:10]}"
             )
-        if self._blocker_ids and any(
-            job.job_id >= self._BLOCKER_ID_BASE for job in workload.jobs[delivered:]
+        if self._blocker_ids and new_feed.has_id_at_or_above(
+            self._BLOCKER_ID_BASE, delivered
         ):
             raise SimulationError(
                 f"workload job ids must stay below {self._BLOCKER_ID_BASE} "
                 "when advance reservations are active"
             )
         if self._primed:
-            self._pending += len(workload) - len(self.workload)
-        self.workload = workload
+            self._pending += new_feed.n - old_feed.n
+        self._feed = new_feed
 
     def drain(self) -> SimulationResult:
         """Run the remaining events to completion and return the result.
@@ -636,7 +739,7 @@ class Simulator:
     def resume(
         cls,
         snapshot: SimulationSnapshot,
-        workload: Workload,
+        workload: Workload | JobTable,
         *,
         trace: EventTrace | None = None,
         metrics_sink=_INHERIT_SINK,
@@ -657,21 +760,18 @@ class Simulator:
         resume without one — its pre-pause records are gone, so only a
         sink carrying their aggregates can finish the run.
         """
-        if workload.max_procs != snapshot.total_procs:
+        feed = make_feed(workload)
+        if feed.max_procs != snapshot.total_procs:
             raise SimulationError(
-                f"cannot resume on a {workload.max_procs}-proc workload: the "
+                f"cannot resume on a {feed.max_procs}-proc workload: the "
                 f"snapshot was taken on {snapshot.total_procs} processors"
             )
-        if snapshot.blocker_ids and any(
-            job.job_id >= cls._BLOCKER_ID_BASE for job in workload
-        ):
+        if snapshot.blocker_ids and feed.has_id_at_or_above(cls._BLOCKER_ID_BASE):
             raise SimulationError(
                 f"workload job ids must stay below {cls._BLOCKER_ID_BASE} "
                 "when resuming a snapshot with advance reservations"
             )
-        delivered = bisect_left(
-            workload.jobs, snapshot.watermark, key=lambda job: job.submit_time
-        )
+        delivered = bisect_left(feed.submit_times, snapshot.watermark)
         if delivered != snapshot.delivered:
             raise SimulationError(
                 f"workload disagrees with the snapshot's history: "
@@ -690,7 +790,7 @@ class Simulator:
                 "its pre-pause per-job records were already folded away"
             )
         sim = cls(workload, snapshot.scheduler.fork(), trace=trace,
-                  metrics_sink=metrics_sink)
+                  metrics_sink=metrics_sink, _feed=feed)
         sim.machine = snapshot.machine.clone()
         sim.clock = snapshot.clock
         sim._events = snapshot.events.clone()
@@ -702,7 +802,7 @@ class Simulator:
         sim._timer_prune_at = snapshot.timer_prune_at
         sim._blocker_ids = set(snapshot.blocker_ids)
         sim._arrival_index = delivered
-        sim._pending = len(workload) - snapshot.completed_count
+        sim._pending = feed.n - snapshot.completed_count
         sim._watermark = snapshot.watermark
         sim._ran = True
         sim._primed = True
@@ -711,10 +811,15 @@ class Simulator:
 
 
 def simulate(
-    workload: Workload,
+    workload: Workload | JobTable,
     scheduler: Scheduler,
     *,
     trace: EventTrace | None = None,
 ) -> SimulationResult:
-    """One-shot convenience wrapper: build a Simulator and run it."""
+    """One-shot convenience wrapper: build a Simulator and run it.
+
+    Accepts either a row :class:`Workload` or a columnar
+    :class:`JobTable`; the table form is faster (jobs materialize lazily
+    through the trusted constructor, batch by batch).
+    """
     return Simulator(workload, scheduler, trace=trace).run()

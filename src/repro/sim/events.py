@@ -81,6 +81,36 @@ class EventQueue:
         self._seq = seq + 1
         heapq.heappush(self._heap, (event.sort_key(seq), event))
 
+    def push_finish(
+        self,
+        time: float,
+        job: Job,
+        _new=object.__new__,
+        _set=object.__setattr__,
+        _cls=Event,
+        _kind=EventKind.JOB_FINISH,
+        _kind_int=int(EventKind.JOB_FINISH),
+        _heappush=heapq.heappush,
+    ) -> None:
+        """Build and insert a trusted JOB_FINISH event in one call.
+
+        Engine-internal fast path for the started-job loop: one call per
+        start instead of three (construct, ``sort_key``, :meth:`push`),
+        and the ``__post_init__`` finiteness check is skipped because the
+        engine computes finish times as ``clock + effective_runtime``,
+        both finite by construction (the clock only ever takes values
+        from validated submit times and previously pushed finite events).
+        Scheduler-supplied times (timer wakeups) still go through the
+        validated ``Event`` constructor and :meth:`push`.
+        """
+        event = _new(_cls)
+        _set(event, "time", time)
+        _set(event, "kind", _kind)
+        _set(event, "job", job)
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, ((time, _kind_int, seq), event))
+
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from functools import cached_property
 import numpy as np
 
 from repro.errors import ConfigurationError, WorkloadError
@@ -104,7 +105,9 @@ class LogUniform:
             return self.low
         return math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
 
-    @property
+    # cached_property on a frozen dataclass is fine: it writes straight
+    # into the instance __dict__, never through the blocked __setattr__.
+    @cached_property
     def mean(self) -> float:
         """Analytic mean: (high - low) / ln(high / low)."""
         if self.low == self.high:
@@ -133,25 +136,28 @@ class PowerOfTwoWidths:
         if not 0.0 <= self.p2 <= 1.0:
             raise ConfigurationError(f"p2 must be in [0, 1], got {self.p2}")
 
-    def _powers(self) -> list[int]:
+    @cached_property
+    def _powers(self) -> tuple[int, ...]:
+        # Pure function of the (frozen) range — computed once, read per
+        # draw; this used to rebuild the list on every sample.
         powers = []
         p = 1
         while p <= self.high:
             if p >= self.low:
                 powers.append(p)
             p *= 2
-        return powers
+        return tuple(powers)
 
     def sample(self, rng: np.random.Generator) -> int:
-        powers = self._powers()
+        powers = self._powers
         if powers and rng.random() < self.p2:
             return int(powers[rng.integers(len(powers))])
         return int(rng.integers(self.low, self.high + 1))
 
-    @property
+    @cached_property
     def mean(self) -> float:
         """Analytic mean of the mixture."""
-        powers = self._powers()
+        powers = self._powers
         uniform_mean = (self.low + self.high) / 2.0
         if not powers:
             return uniform_mean
@@ -213,7 +219,7 @@ class SyntheticTraceModel:
 
     # -- analytic calibration ------------------------------------------------
 
-    @property
+    @cached_property
     def expected_area(self) -> float:
         """E[runtime x width] of one job under the category mixture.
 
@@ -228,7 +234,7 @@ class SyntheticTraceModel:
             + lw * self.long_runtime.mean * self.wide_width.mean
         )
 
-    @property
+    @cached_property
     def mean_interarrival(self) -> float:
         """Mean inter-arrival time achieving ``target_load`` on this machine."""
         return self.expected_area / (self.max_procs * self.target_load)

@@ -16,7 +16,7 @@ Archive, so real traces round-trip losslessly through
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import WorkloadError
@@ -82,6 +82,24 @@ class Job:
                 f"job {self.job_id}: procs must be > 0, got {self.procs}"
             )
 
+    @classmethod
+    def _from_trusted_columns(cls, field_lists: Sequence[Sequence]) -> "tuple[Job, ...]":
+        """Bulk-build jobs from pre-validated columns, skipping ``__post_init__``.
+
+        ``field_lists`` is one Python list per field in declaration order
+        (what :meth:`repro.workload.table.JobTable` hands over).  The
+        caller vouches for the values: :class:`~repro.workload.table.JobTable`
+        runs the vectorized equivalent of every ``__post_init__`` check at
+        construction, so re-running the per-row finiteness/positivity
+        checks here would only re-prove what the table already proved —
+        per job, per cell, on every sweep.  Never feed this columns that
+        did not come out of a successfully constructed ``JobTable``.
+
+        The objects are field-for-field equal to ``Job(*row)`` ones
+        (pinned by ``tests/properties/test_prop_trusted_jobs.py``).
+        """
+        return _trusted_jobs_bulk(field_lists)
+
     @property
     def effective_runtime(self) -> float:
         """Runtime as actually executed: jobs are killed at their estimate."""
@@ -113,6 +131,54 @@ class Job:
     def with_job_id(self, job_id: int) -> "Job":
         """Return a copy of this job with a different identifier."""
         return replace(self, job_id=job_id)
+
+
+def _make_trusted_job_factories():
+    """Code-generate the fastest possible no-validation Job constructors.
+
+    The generated single-row function is the dataclass ``__init__`` minus
+    ``__post_init__``: one slot write per field.  Writes go through the
+    slot *member descriptors* (``Job.__dict__[name].__set__``) rather
+    than ``object.__setattr__``: a frozen dataclass only overrides
+    ``__setattr__``, the descriptors still accept writes, and each
+    pre-bound ``__set__`` skips the attribute-name hash and MRO walk
+    that ``object.__setattr__(obj, "name", value)`` pays per call.
+    Every descriptor is bound as a default argument so per-call global
+    lookups disappear too.  The bulk variant additionally inlines the
+    per-row call into a single loop over zipped columns, which is
+    measurably faster again when materializing whole tables.
+    """
+    names = [f.name for f in fields(Job)]
+    args = ", ".join(names)
+    setters = {name: f"_set_{name}" for name in names}
+    bind = ", ".join(
+        f"{setter}=Job.__dict__['{name}'].__set__" for name, setter in setters.items()
+    )
+    row_body = "\n".join(
+        f"    {setter}(self, {name})" for name, setter in setters.items()
+    )
+    loop_body = "\n".join(
+        f"        {setter}(self, {name})" for name, setter in setters.items()
+    )
+    source = (
+        f"def _trusted_job({args}, _new=object.__new__, _cls=Job, {bind}):\n"
+        f"    self = _new(_cls)\n{row_body}\n    return self\n"
+        f"\n"
+        f"def _trusted_jobs_bulk(field_lists, _new=object.__new__, _cls=Job,\n"
+        f"                       _zip=zip, {bind}):\n"
+        f"    out = []\n"
+        f"    ap = out.append\n"
+        f"    for {args} in _zip(*field_lists):\n"
+        f"        self = _new(_cls)\n{loop_body}\n"
+        f"        ap(self)\n"
+        f"    return tuple(out)\n"
+    )
+    namespace = {"Job": Job}
+    exec(source, namespace)  # noqa: S102 - static, module-local source
+    return namespace["_trusted_job"], namespace["_trusted_jobs_bulk"]
+
+
+_trusted_job, _trusted_jobs_bulk = _make_trusted_job_factories()
 
 
 @dataclass(frozen=True, slots=True)
@@ -171,6 +237,28 @@ class Workload:
         """Build a workload, sorting the jobs by (submit_time, job_id)."""
         ordered = tuple(sorted(jobs, key=lambda j: (j.submit_time, j.job_id)))
         return cls(ordered, max_procs, name, metadata or {})
+
+    @classmethod
+    def _trusted(
+        cls,
+        jobs: tuple[Job, ...],
+        max_procs: int,
+        name: str = "workload",
+        metadata: dict | None = None,
+    ) -> "Workload":
+        """Build a workload from pre-validated jobs, skipping ``__post_init__``.
+
+        For internal use by :meth:`repro.workload.table.JobTable.to_workload`
+        and the simulator's table feed, where the table has already proven
+        id uniqueness, submit ordering, and per-job fit vectorized.  The
+        result is value-equal to a validated construction.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "jobs", jobs)
+        object.__setattr__(self, "max_procs", max_procs)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "metadata", metadata if metadata is not None else {})
+        return self
 
     @property
     def span(self) -> float:

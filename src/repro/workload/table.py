@@ -109,6 +109,79 @@ class JobTable:
         lengths = {c: len(self.columns[c]) for c in _ALL_COLUMNS}
         if len(set(lengths.values())) > 1:
             raise WorkloadError(f"JobTable columns have unequal lengths: {lengths}")
+        self._validate_rows()
+
+    def _validate_rows(self) -> None:
+        """Vectorized equivalent of every per-row ``Job.__post_init__`` check
+        plus the row-local ``Workload`` invariants (id uniqueness, machine
+        fit).  Running them here — once, on arrays — is what licenses the
+        trusted bulk constructor downstream: any table that exists has
+        already proven what ``__post_init__`` would re-prove per job per
+        cell.  Submit *ordering* is deliberately not required (SWF ingest
+        constructs, then sorts); it is checked where order matters
+        (:meth:`to_workload`, the simulator's arrival feed).
+
+        Error messages match the row constructors', reported for the first
+        offending row in row order.
+        """
+        cols = self.columns
+        n = len(cols["job_id"])
+        if n == 0:
+            return
+        ids = cols["job_id"]
+        submit = cols["submit_time"]
+        runtime = cols["runtime"]
+        estimate = cols["estimate"]
+        procs = cols["procs"]
+        bad_id = ids < 0
+        bad_submit = ~np.isfinite(submit) | (submit < 0)
+        bad_runtime = ~np.isfinite(runtime) | (runtime <= 0)
+        bad_estimate = ~np.isfinite(estimate) | (estimate <= 0)
+        bad_procs = procs <= 0
+        bad = bad_id | bad_submit | bad_runtime | bad_estimate | bad_procs
+        if bad.any():
+            i = int(np.argmax(bad))
+            # Same per-field priority as Job.__post_init__.
+            if bad_id[i]:
+                raise WorkloadError(f"job_id must be non-negative, got {ids[i]}")
+            if bad_submit[i]:
+                raise WorkloadError(
+                    f"job {ids[i]}: submit_time must be finite and >= 0, "
+                    f"got {submit[i]}"
+                )
+            if bad_runtime[i]:
+                raise WorkloadError(
+                    f"job {ids[i]}: runtime must be finite and > 0, got {runtime[i]}"
+                )
+            if bad_estimate[i]:
+                raise WorkloadError(
+                    f"job {ids[i]}: estimate must be finite and > 0, "
+                    f"got {estimate[i]}"
+                )
+            raise WorkloadError(f"job {ids[i]}: procs must be > 0, got {procs[i]}")
+        _, first_index, inverse = np.unique(
+            ids, return_index=True, return_inverse=True
+        )
+        dup = first_index[inverse] != np.arange(n)
+        unfit = procs > self.max_procs
+        if dup.any() or unfit.any():
+            i = int(np.argmax(dup | unfit))
+            # Same per-row priority as Workload.__post_init__.
+            if dup[i]:
+                raise WorkloadError(f"duplicate job_id {ids[i]} in workload")
+            raise WorkloadError(
+                f"job {ids[i]} requests {procs[i]} procs but the "
+                f"machine only has {self.max_procs}"
+            )
+
+    def _submit_is_sorted(self) -> bool:
+        """Whether submit_time is non-decreasing (cached per instance)."""
+        cached = self.__dict__.get("_submit_sorted")
+        if cached is None:
+            submit = self.columns["submit_time"]
+            cached = bool(len(submit) < 2 or np.all(submit[1:] >= submit[:-1]))
+            object.__setattr__(self, "_submit_sorted", cached)
+        return cached
 
     def __len__(self) -> int:
         return len(self.columns["job_id"])
@@ -142,18 +215,31 @@ class JobTable:
             metadata=dict(workload.metadata),
         )
 
+    def field_lists(self) -> list[list]:
+        """One builtin-typed Python list per Job field, in field order.
+
+        ``ndarray.tolist`` bulk conversion (one call per column) yields
+        builtin ``int``/``float`` so downstream JSON serialization of
+        ``Job`` fields keeps working.  This is the handoff format of
+        :meth:`Job._from_trusted_columns` and the simulator's table feed.
+        """
+        cols = self.columns
+        return [cols[name].tolist() for name in _JOB_FIELD_ORDER]
+
     def to_workload(self) -> Workload:
         """Rebuild the row form.  Inverse of :meth:`from_workload`.
 
-        Columns are bulk-converted with ``ndarray.tolist`` (one call per
-        column, yielding builtin ``int``/``float`` so downstream JSON
-        serialization of ``Job`` fields keeps working) instead of
-        extracting numpy scalars per field per job; ``Job`` and
-        ``Workload`` construction still run their full validation.
+        Jobs are materialized through the trusted bulk constructor —
+        construction of this table already ran the vectorized equivalent
+        of every per-row check (see :meth:`_validate_rows`), so re-running
+        ``__post_init__`` per job would only re-prove it.  When the table
+        is submit-sorted the ``Workload`` wrapper is trusted too;
+        an unsorted table still goes through validated ``Workload``
+        construction so callers get the identical ordering error.
         """
-        cols = self.columns
-        field_lists = [cols[name].tolist() for name in _JOB_FIELD_ORDER]
-        jobs = tuple(Job(*row) for row in zip(*field_lists))
+        jobs = Job._from_trusted_columns(self.field_lists())
+        if self._submit_is_sorted():
+            return Workload._trusted(jobs, self.max_procs, self.name, dict(self.metadata))
         return Workload(jobs, self.max_procs, self.name, dict(self.metadata))
 
     def to_payload(self) -> dict:

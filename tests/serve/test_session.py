@@ -11,6 +11,7 @@ from repro.experiments.runner import make_scheduler
 from repro.serve import Session
 from repro.sim.engine import Simulator, simulate
 from repro.workload.job import Job, Workload
+from repro.workload.table import JobTable
 
 
 def stream(n=60, seed=3, procs=32):
@@ -89,6 +90,76 @@ class TestSubmitAdvance:
         assert forecast.free_procs == 8
         report = session.what_if(runtime=30, procs=4)
         assert report.target.start_time == 1000.0
+
+
+class TestSubmitTable:
+    """Bulk table ingest: the columnar analogue of per-row ``submit``."""
+
+    def _table(self, jobs, procs=32):
+        return JobTable.from_workload(Workload.from_jobs(jobs, procs))
+
+    def test_table_session_matches_row_session(self):
+        jobs = stream(60)
+        by_rows = Session(32, scheduler="easy")
+        for job in jobs:
+            by_rows.submit(job)
+        by_table = Session(32, scheduler="easy")
+        ids = by_table.submit_table(self._table(jobs))
+        assert ids == tuple(job.job_id for job in sorted(
+            jobs, key=lambda j: (j.submit_time, j.job_id)
+        ))
+        by_rows.advance(10_000_000.0)
+        by_table.advance(10_000_000.0)
+        assert metrics_digest(by_table.metrics()) == metrics_digest(
+            by_rows.metrics()
+        )
+
+    def test_empty_table_is_a_noop(self):
+        session = Session(16)
+        assert session.submit_table(self._table([], procs=16)) == ()
+        assert session.stats().submitted == 0
+
+    def test_past_submissions_are_rejected(self):
+        session = Session(32)
+        session.advance(100.0)
+        with pytest.raises(SimulationError, match="simulated past"):
+            session.submit_table(
+                self._table([Job(1, 50.0, 10.0, 10.0, 1)])
+            )
+
+    def test_id_collision_with_prior_submission_is_rejected(self):
+        session = Session(32)
+        session.submit(runtime=10, procs=1, job_id=7)
+        with pytest.raises(SimulationError, match="duplicate job id 7"):
+            session.submit_table(
+                self._table([Job(7, 0.0, 10.0, 10.0, 1)])
+            )
+
+    def test_oversized_job_is_rejected(self):
+        session = Session(8)
+        with pytest.raises(SimulationError, match="needs 16 procs"):
+            session.submit_table(
+                self._table([Job(1, 0.0, 10.0, 10.0, 16)], procs=16)
+            )
+
+    def test_next_id_advances_past_table_ids(self):
+        session = Session(32)
+        session.submit_table(self._table([Job(41, 0.0, 10.0, 10.0, 1)]))
+        assert session.submit(runtime=10, procs=1) == 42
+
+    def test_mixing_table_and_row_submissions(self):
+        jobs = stream(30)
+        split = len(jobs) // 2
+        mixed = Session(32, scheduler="cons")
+        mixed.submit_table(self._table(jobs[:split]))
+        for job in jobs[split:]:
+            mixed.submit(job)
+        rows = Session(32, scheduler="cons")
+        for job in jobs:
+            rows.submit(job)
+        mixed.advance(10_000_000.0)
+        rows.advance(10_000_000.0)
+        assert metrics_digest(mixed.metrics()) == metrics_digest(rows.metrics())
 
 
 class TestQueries:

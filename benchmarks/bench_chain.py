@@ -42,6 +42,7 @@ import time
 from pathlib import Path
 
 from repro.exec import Cell, CellExecutor, ResultStore, metrics_digest
+from repro.hostinfo import host_provenance
 from repro.experiments.config import WorkloadSpec
 from repro.experiments.runner import clear_cache
 
@@ -133,6 +134,7 @@ def test_chained_sweep_writes_bench_json():
     serial_speedup = plain_seconds / chain_seconds
     payload = {
         "schema": 1,
+        "host": host_provenance(),
         "trace": TRACE,
         "n_seeds": len(SEEDS),
         "load_scales": list(LOAD_SCALES),

@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 
 from repro.exec import metrics_digest
+from repro.hostinfo import host_provenance
 from repro.experiments.config import WorkloadSpec
 from repro.experiments.runner import (
     clear_cache,
@@ -149,6 +150,7 @@ def test_hotloop_writes_bench_json():
     n_cells = len(conditions)
     payload = {
         "schema": 1,
+        "host": host_provenance(),
         "trace": TRACE,
         "n_jobs_per_trace": N_JOBS,
         "n_seeds": len(SEEDS),

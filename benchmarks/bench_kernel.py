@@ -21,13 +21,13 @@ regression; ``tests/perf/test_kernel_smoke.py`` is the fast CI guard.
 from __future__ import annotations
 
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.hostinfo import host_provenance
 from repro.sched import profile_ref
 from repro.sched.backfill.conservative import ConservativeScheduler
 from repro.sched.backfill.depth import DepthScheduler
@@ -208,10 +208,7 @@ def main() -> None:
     payload = {
         "schema": 1,
         "workload": dict(WORKLOAD_PARAMS),
-        "host": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "host": {**host_provenance(), "numpy": np.__version__},
         "cases": run_cases(workload),
         "profile_ops": run_profile_ops(),
     }

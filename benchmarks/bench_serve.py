@@ -41,6 +41,7 @@ import urllib.request
 from pathlib import Path
 
 from repro.experiments.config import WorkloadSpec
+from repro.hostinfo import host_provenance
 from repro.experiments.runner import make_workload
 from repro.serve import Session, make_server
 
@@ -191,6 +192,7 @@ def test_serve_writes_bench_json():
     what_if_rate = QUERIES / what_if_seconds
     payload = {
         "schema": 1,
+        "host": host_provenance(),
         "trace": TRACE,
         "n_jobs": N_JOBS,
         "seed": SEED,

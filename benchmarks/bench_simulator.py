@@ -15,6 +15,7 @@ import pytest
 
 from repro.exec import Cell, CellExecutor, ResultStore, metrics_digest
 from repro.experiments.config import WorkloadSpec
+from repro.hostinfo import host_provenance
 from repro.experiments.runner import make_scheduler, make_workload
 from repro.sim.engine import simulate
 
@@ -81,6 +82,7 @@ def test_executor_scaling_writes_bench_json():
     events = serial.last_report.events_processed
     payload = {
         "schema": 2,
+        "host": host_provenance(),
         "n_cells": len(cells),
         "n_jobs_per_cell": EXECUTOR_N_JOBS,
         "max_workers": EXECUTOR_WORKERS,

@@ -32,6 +32,7 @@ from tempfile import TemporaryDirectory
 
 from repro.exec import Cell, ResultStore, metrics_digest, simulate_cell
 from repro.experiments.config import WorkloadSpec
+from repro.hostinfo import host_provenance
 
 #: Grid size; the checked-in snapshot is generated at the default 100k.
 N_CELLS = int(os.environ.get("BENCH_STORE_CELLS", "100000"))
@@ -94,6 +95,7 @@ def test_store_backends_write_bench_json():
 
     payload = {
         "schema": 1,
+        "host": host_provenance(),
         "n_cells": N_CELLS,
         "write_batch": WRITE_BATCH,
         "records_per_result": stored.metrics.overall.count,

@@ -41,6 +41,7 @@ from pathlib import Path
 
 from repro.exec import Cell, CellExecutor, ResultStore, metrics_digest
 from repro.experiments.config import WorkloadSpec
+from repro.hostinfo import host_provenance
 from repro.experiments.runner import (
     clear_cache,
     make_scheduler,
@@ -160,6 +161,7 @@ def test_sweep_pipeline_writes_bench_json():
     serial_speedup = pre_seconds / col_seconds
     payload = {
         "schema": 1,
+        "host": host_provenance(),
         "trace": TRACE,
         "n_jobs_per_trace": N_JOBS,
         "n_seeds": len(SEEDS),

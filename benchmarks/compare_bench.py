@@ -71,6 +71,35 @@ def schema_warnings(old: dict, new: dict) -> list[str]:
     return warnings
 
 
+def host_warnings(old: dict, new: dict) -> list[str]:
+    """Non-fatal host-shape drift between two payloads.
+
+    Every bench writer stamps ``host`` provenance (cpu_count, platform,
+    machine, python — see :mod:`repro.hostinfo`).  Numbers measured on
+    differently shaped hosts are legitimately different; the gate still
+    runs (its threshold absorbs honest variance), but the comparison
+    must say the hosts differ so nobody chases a phantom regression.
+    """
+    old_host = old.get("host") or {}
+    new_host = new.get("host") or {}
+    if not isinstance(old_host, dict) or not isinstance(new_host, dict):
+        return []
+    if not old_host and not new_host:
+        return []
+    if bool(old_host) != bool(new_host):
+        missing = "baseline" if not old_host else "candidate"
+        return [f"host provenance missing from {missing} (pre-provenance snapshot?)"]
+    warnings = []
+    for key in sorted(set(old_host) | set(new_host)):
+        before, after = old_host.get(key), new_host.get(key)
+        if before != after:
+            warnings.append(
+                f"host {key} differs: {before!r} -> {after!r} "
+                "(numbers are not directly comparable)"
+            )
+    return warnings
+
+
 def compare(old: dict, new: dict, threshold: float) -> list[str]:
     """Return regression descriptions (empty = gate passes); prints the table."""
     old_leaves = throughput_leaves(old)
@@ -111,6 +140,8 @@ def main(argv=None) -> int:
     old = json.loads(args.old.read_text(encoding="utf-8"))
     new = json.loads(args.new.read_text(encoding="utf-8"))
     for warning in schema_warnings(old, new):
+        print(f"warning: {warning}", file=sys.stderr)
+    for warning in host_warnings(old, new):
         print(f"warning: {warning}", file=sys.stderr)
     regressions = compare(old, new, args.threshold)
     if regressions:

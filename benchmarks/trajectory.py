@@ -86,6 +86,16 @@ TRAJECTORY = [
             ("speedup vs sweep baseline", "speedup_vs_sweep_baseline", "{:.2f}x"),
         ],
     },
+    {
+        "file": "BENCH_dist.json",
+        "subject": "work-stealing queue, multi-worker drain",
+        "headlines": [
+            ("1-worker drain", "dist_1worker_cells_per_second", "{:,.1f} cells/s"),
+            ("2-worker drain", "dist_2worker_cells_per_second", "{:,.1f} cells/s"),
+            ("scaling", "scaling_speedup", "{:.2f}x"),
+            ("retried cells after kill", "fault_retried_cells", "{:d}"),
+        ],
+    },
 ]
 
 
@@ -127,7 +137,9 @@ def collect(bench_dir: Path) -> list[dict]:
             headlines = [
                 (label, fmt.format(payload[key]))
                 for label, key, fmt in entry["headlines"]
-                if key in payload
+                # None marks a skipped leg (e.g. BENCH_dist's scaling leg
+                # on a 1-CPU host) — absent and skipped render the same.
+                if payload.get(key) is not None
             ]
         records.append(
             {

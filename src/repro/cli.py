@@ -11,6 +11,13 @@ Subcommands:
 * ``characterize`` — print a workload's characterization statistics.
 * ``store`` — inspect and maintain a persistent result cache
   (``stats``, ``gc``, ``migrate``).
+* ``sweep`` — pre-simulate experiment grids into a result store, either
+  locally or (``--dist``) through the work-stealing queue that any
+  number of ``repro worker`` processes drain.
+* ``worker`` — one queue-draining worker loop: claim chain-group
+  leases, simulate, commit (see :mod:`repro.exec.dist`).
+* ``queue`` — inspect and maintain a distributed sweep's queue table
+  (``stats``, ``requeue``).
 * ``serve`` — run a live scheduler session behind the HTTP/JSON layer
   (see :mod:`repro.serve`).
 * ``list`` — list available experiments, schedulers, and priorities.
@@ -38,6 +45,7 @@ from repro.exec import (
     run_cells,
     set_default_executor,
 )
+from repro.exec.queue import DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS
 from repro.experiments.config import DEFAULT_PARAMS, ExperimentParams
 from repro.experiments.registry import EXPERIMENTS, collect_cells, run_experiment
 from repro.experiments.runner import SCHEDULER_KINDS, make_scheduler, make_workload
@@ -168,6 +176,29 @@ def _configure_execution(args: argparse.Namespace):
     )
 
 
+def _lease_parent() -> argparse.ArgumentParser:
+    """Parent parser: the queue lease knobs ``sweep --dist`` and
+    ``worker`` must agree on."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=DEFAULT_LEASE_SECONDS,
+        metavar="S",
+        help="how long a claimed chain group stays owned before other "
+        f"workers may steal it (default: {DEFAULT_LEASE_SECONDS:.0f})",
+    )
+    parent.add_argument(
+        "--max-attempts",
+        type=int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        metavar="N",
+        help="lease grants per group before it is poisoned "
+        f"(default: {DEFAULT_MAX_ATTEMPTS})",
+    )
+    return parent
+
+
 def _progress_printer():
     def emit(report: ExecutionReport) -> None:
         sys.stderr.write(f"\r[exec] {report.render()}\x1b[K")
@@ -200,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate_parent = _estimate_parent()
     grid_parent = _grid_parent()
     execution_parent = _execution_parent()
+    lease_parent = _lease_parent()
 
     exp = sub.add_parser(
         "experiment",
@@ -340,6 +372,76 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKEND_CHOICES,
         help="source disk layout (default: auto-sniffed)",
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="pre-simulate experiment grids into a result store",
+        parents=[grid_parent, execution_parent, lease_parent],
+    )
+    sweep.add_argument(
+        "ids", nargs="*", default=[], help="experiment ids (default: all)"
+    )
+    sweep.add_argument(
+        "--dist",
+        action="store_true",
+        help="execute through the work-stealing queue in --cache-dir: "
+        "misses are enqueued as chain-group leases and drained by this "
+        "process and/or any 'repro worker --queue' processes pointed at "
+        "the same directory",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --dist: spawn N local worker processes (default: 0, "
+        "drain inline alongside any external workers)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="drain a distributed sweep's queue until empty",
+        parents=[lease_parent],
+    )
+    worker.add_argument(
+        "--queue",
+        required=True,
+        metavar="DIR",
+        help="the queue directory a 'repro sweep --dist' run enqueues into",
+    )
+    worker.add_argument(
+        "--owner",
+        default=None,
+        help="lease owner id (default: hostname:pid)",
+    )
+    worker.add_argument(
+        "--batch-groups",
+        type=int,
+        default=4,
+        metavar="N",
+        help="chain groups claimed per lease transaction (default: 4)",
+    )
+    worker.add_argument(
+        "--idle-seconds",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="linger this long for new work after the queue drains "
+        "(default: 0, exit at drain — start the sweep first)",
+    )
+
+    queue = sub.add_parser(
+        "queue", help="inspect and maintain a distributed sweep's queue"
+    )
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+    qstats = queue_sub.add_parser(
+        "stats", help="print lease-state counts and poisoned cells"
+    )
+    qstats.add_argument("queue_dir", help="the queue directory")
+    qrequeue = queue_sub.add_parser(
+        "requeue", help="reset poisoned groups to pending for another try"
+    )
+    qrequeue.add_argument("queue_dir", help="the queue directory")
 
     sub.add_parser("list", help="list experiments, schedulers, priorities")
     return parser
@@ -525,12 +627,18 @@ def _human_bytes(n: int) -> str:
 
 def _cmd_store(args: argparse.Namespace) -> int:
     from repro.exec import ResultStore, migrate_store
+    from repro.exec.backends.sqlite import SqliteBackend
 
     if args.store_command == "stats":
         store = ResultStore(cache_dir=args.cache_dir, backend=args.backend)
         print(f"backend : {store.backend_kind}")
         print(f"entries : {store.entry_count()}")
         print(f"size    : {_human_bytes(store.size_bytes())}")
+        backend = store.backend
+        if isinstance(backend, SqliteBackend) and backend.queue_exists():
+            from repro.exec.queue import CellQueue
+
+            print(CellQueue(args.cache_dir).stats().render())
         return 0
     if args.store_command == "gc":
         store = ResultStore(cache_dir=args.cache_dir, backend=args.backend)
@@ -540,11 +648,107 @@ def _cmd_store(args: argparse.Namespace) -> int:
             f"kept {report.kept}, {verb} {report.stale_removed} stale "
             f"+ {report.corrupt_removed} corrupt"
         )
+        backend = store.backend
+        if isinstance(backend, SqliteBackend) and backend.queue_exists():
+            # Done leases are pure debris once their results are in the
+            # result tables; pending/leased/poisoned rows are live state
+            # and stay.
+            if args.dry_run:
+                done = backend.queue_counts().get("done", (0, 0))[0]
+                print(f"queue: would clear {done} done lease row(s)")
+            else:
+                cleared = backend.queue_clear_done()
+                print(f"queue: cleared {cleared} done lease row(s)")
         return 0
     source = ResultStore(cache_dir=args.source, backend=args.source_backend)
     dest = ResultStore(cache_dir=args.dest, backend=args.to)
     copied = migrate_store(source, dest)
     print(f"migrated {copied} entries ({source.backend_kind} -> {dest.backend_kind})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    params = ExperimentParams(
+        n_jobs=args.jobs,
+        seeds=tuple(args.seeds),
+        load_scale=args.load_scale,
+        traces=tuple(args.traces),
+    )
+    ids = args.ids or list(EXPERIMENTS)
+    cells = collect_cells(ids, params)
+    if args.dist:
+        from repro.exec.dist import DistExecutor
+
+        cache_dir = None if args.no_cache else args.cache_dir
+        if not cache_dir:
+            raise ReproError(
+                "sweep --dist needs --cache-dir: the queue and its results "
+                "live in that directory's SQLite database"
+            )
+        if args.workers < 0:
+            raise ReproError(f"--workers must be >= 0, got {args.workers}")
+        progress = _progress_printer() if sys.stderr.isatty() else None
+        executor = set_default_executor(
+            DistExecutor(
+                cache_dir,
+                workers=args.workers,
+                lease_seconds=args.lease_seconds,
+                max_attempts=args.max_attempts,
+                progress=progress,
+            )
+        )
+    else:
+        executor = _configure_execution(args)
+    run_cells(cells)
+    print(f"swept {len(cells)} cells across {len(ids)} experiment(s)")
+    _print_execution_summary(executor)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.exec.dist import run_worker
+
+    progress = None
+    if sys.stderr.isatty():
+
+        def progress(report):
+            sys.stderr.write(f"\r[worker] {report.render()}\x1b[K")
+            sys.stderr.flush()
+
+    report = run_worker(
+        args.queue,
+        owner=args.owner,
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+        batch_groups=args.batch_groups,
+        idle_seconds=args.idle_seconds,
+        progress=progress,
+    )
+    if progress is not None:
+        sys.stderr.write("\n")
+    print(report.render())
+    # Failed groups are re-queued or poisoned — either way the queue has
+    # the full story; a nonzero exit just flags that this worker saw them.
+    return 1 if report.groups_failed else 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from repro.exec.queue import CellQueue
+
+    queue = CellQueue(args.queue_dir)
+    if args.queue_command == "stats":
+        print(queue.stats().render())
+        poisoned = queue.poisoned()
+        for entry in poisoned[:20]:
+            print(
+                f"  poisoned: {entry.label()} after {entry.attempts} "
+                f"attempt(s): {entry.error}"
+            )
+        if len(poisoned) > 20:
+            print(f"  ... and {len(poisoned) - 20} more")
+        return 0
+    reset = queue.requeue_poisoned()
+    print(f"requeued {reset} poisoned cell(s)")
     return 0
 
 
@@ -583,6 +787,9 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "characterize": _cmd_characterize,
         "store": _cmd_store,
+        "sweep": _cmd_sweep,
+        "worker": _cmd_worker,
+        "queue": _cmd_queue,
         "serve": _cmd_serve,
         "list": _cmd_list,
     }

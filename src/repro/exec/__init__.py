@@ -38,7 +38,15 @@ from repro.exec.backends import BACKEND_CHOICES, StoreBackend, make_backend
 from repro.exec.cell import CACHE_SCHEMA_VERSION, Cell
 from repro.exec.config import ExecConfig
 from repro.exec.chains import ChainStats, chain_key, plan_chains, run_chain
+from repro.exec.dist import DistExecutor, WorkerReport, run_worker
 from repro.exec.executor import CellExecutor, ExecutionReport, simulate_cell
+from repro.exec.queue import (
+    CellQueue,
+    ClaimedGroup,
+    EnqueueReport,
+    PoisonedCell,
+    QueueStats,
+)
 from repro.exec.serialize import metrics_digest
 from repro.exec.store import (
     DEFAULT_MEMORY_LIMIT,
@@ -55,19 +63,27 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "Cell",
     "CellExecutor",
+    "CellQueue",
     "ChainStats",
+    "ClaimedGroup",
     "DEFAULT_MEMORY_LIMIT",
+    "DistExecutor",
+    "EnqueueReport",
     "ExecutionReport",
     "GcReport",
+    "PoisonedCell",
+    "QueueStats",
     "ResultStore",
     "StoreBackend",
     "StoredResult",
     "StoreStats",
+    "WorkerReport",
     "chain_key",
     "make_backend",
     "migrate_store",
     "plan_chains",
     "run_chain",
+    "run_worker",
     "simulate_cell",
     "metrics_digest",
     "run_cells",

@@ -21,6 +21,17 @@ bulk writes are an order of magnitude faster than per-file JSON.
 
 Connections are opened lazily and re-opened after a ``fork`` (SQLite
 handles must not cross processes), keyed by pid.
+
+Beside the result tables the backend can host a third table, ``queue``
+— the physical layer of the lease-based work-stealing queue
+(:mod:`repro.exec.queue`).  All queue SQL lives here, under the same
+WAL connection discipline as the result tables: claims run inside one
+``BEGIN IMMEDIATE`` transaction (so two workers can never lease the
+same chain group), and :meth:`SqliteBackend.queue_complete` writes
+result rows and flips leases to ``done`` **in the same transaction**,
+which is what makes a killed worker lose at most its in-flight group,
+never a committed one.  The table is created lazily on first queue use,
+so an ordinary result cache never grows an unexplained extra table.
 """
 
 from __future__ import annotations
@@ -67,6 +78,30 @@ CREATE TABLE IF NOT EXISTS payloads (
     metrics TEXT NOT NULL
 )
 """
+
+# The work-stealing queue: one row per cell, grouped into indivisible
+# lease units by ``grp`` (a chain-group id — chains never straddle
+# workers).  ``state`` walks pending -> leased -> done, with expired
+# leases falling back to pending until ``attempts`` (lease grants)
+# reaches the cap, after which the group is poisoned.  ``cell`` carries
+# the full Cell payload JSON so any worker can reconstruct the work item
+# from the database alone.
+_CREATE_QUEUE = """
+CREATE TABLE IF NOT EXISTS queue (
+    key      TEXT PRIMARY KEY,
+    grp      TEXT NOT NULL,
+    cell     TEXT NOT NULL,
+    state    TEXT NOT NULL DEFAULT 'pending',
+    owner    TEXT,
+    deadline REAL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    error    TEXT
+)
+"""
+
+_CREATE_QUEUE_INDEX = (
+    "CREATE INDEX IF NOT EXISTS queue_state_grp ON queue(state, grp)"
+)
 
 
 class SqliteBackend(StoreBackend):
@@ -205,6 +240,253 @@ class SqliteBackend(StoreBackend):
         if not self.path.exists():
             return []
         return [row[0] for row in self._connection().execute("SELECT key FROM meta")]
+
+    # -- the work-stealing queue table -----------------------------------------
+    #
+    # Physical layer of repro.exec.queue.CellQueue.  Semantics (group ids,
+    # Cell encoding, lease policy) live in the front; this layer owns the
+    # SQL and the transaction boundaries.
+
+    def _queue_connection(self) -> sqlite3.Connection:
+        """The shared connection, with the queue table ensured."""
+        conn = self._connection()
+        conn.execute(_CREATE_QUEUE)
+        conn.execute(_CREATE_QUEUE_INDEX)
+        conn.commit()
+        return conn
+
+    def queue_exists(self) -> bool:
+        """Whether this database hosts a queue table (never creates one)."""
+        if not self.path.exists():
+            return False
+        rows = self._connection().execute(
+            "SELECT 1 FROM sqlite_master WHERE type='table' AND name='queue'"
+        ).fetchall()
+        return bool(rows)
+
+    def queue_enqueue(self, rows: Sequence[tuple[str, str, str]]) -> int:
+        """Insert ``(key, grp, cell_json)`` rows as pending work.
+
+        Idempotent: a key already pending/leased is left alone (its lease
+        bookkeeping must survive a concurrent re-enqueue), while a
+        ``done``/``poisoned`` row is revived to a fresh pending state —
+        the store front decides warmness, so reaching this call means the
+        result is genuinely wanted again.  Returns how many rows were
+        inserted or revived.
+        """
+        if not rows:
+            return 0
+        conn = self._queue_connection()
+        with conn:
+            before = conn.total_changes
+            conn.executemany(
+                "INSERT INTO queue (key, grp, cell, state) VALUES (?,?,?,'pending') "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "state='pending', owner=NULL, deadline=NULL, attempts=0, error=NULL "
+                "WHERE queue.state IN ('done','poisoned')",
+                rows,
+            )
+            return conn.total_changes - before
+
+    def queue_claim(
+        self,
+        owner: str,
+        *,
+        now: float,
+        lease_seconds: float,
+        limit_groups: int,
+        max_attempts: int,
+    ) -> list[tuple[str, str, str, int]]:
+        """Lease up to ``limit_groups`` claimable groups to ``owner``.
+
+        One ``BEGIN IMMEDIATE`` transaction: expired leases whose groups
+        exhausted their attempts are poisoned, then whole groups —
+        pending or expired-leased — are marked leased with a fresh
+        deadline and an incremented attempt count.  The write lock makes
+        the select-then-update atomic against every other worker, so two
+        claims can never return overlapping groups.  Returns the leased
+        ``(key, grp, cell_json, attempts)`` rows.
+        """
+        conn = self._queue_connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute(
+                "UPDATE queue SET state='poisoned', owner=NULL, deadline=NULL, "
+                "error=COALESCE(error, 'lease expired after ' || attempts || ' attempts') "
+                "WHERE state='leased' AND deadline < ? AND attempts >= ?",
+                (now, max_attempts),
+            )
+            groups = [
+                row[0]
+                for row in conn.execute(
+                    "SELECT DISTINCT grp FROM queue "
+                    "WHERE state='pending' OR (state='leased' AND deadline < ?) "
+                    "LIMIT ?",
+                    (now, limit_groups),
+                )
+            ]
+            if not groups:
+                conn.commit()
+                return []
+            marks = ",".join("?" * len(groups))
+            conn.execute(
+                f"UPDATE queue SET state='leased', owner=?, deadline=?, "
+                f"attempts=attempts+1 WHERE grp IN ({marks}) "
+                "AND (state='pending' OR (state='leased' AND deadline < ?))",
+                (owner, now + lease_seconds, *groups, now),
+            )
+            rows = conn.execute(
+                f"SELECT key, grp, cell, attempts FROM queue "
+                f"WHERE grp IN ({marks}) AND state='leased' AND owner=?",
+                (*groups, owner),
+            ).fetchall()
+            conn.commit()
+            return rows
+        except BaseException:
+            conn.rollback()
+            raise
+
+    def queue_complete(
+        self,
+        owner: str,
+        group_ids: Sequence[str],
+        items: Sequence[tuple[str, dict]],
+    ) -> None:
+        """Persist results and mark their lease groups done, atomically.
+
+        The result rows go through the same meta/payloads statements as
+        :meth:`put_many`, in **one** transaction with the queue update —
+        a worker killed anywhere leaves either the whole group committed
+        and done, or untouched and re-stealable after lease expiry.
+        Groups are marked done regardless of current lease owner: a slow
+        worker finishing a stolen group commits byte-identical results,
+        so the late write is harmless and the work should not re-run.
+        """
+        meta_rows = []
+        payload_rows = []
+        for key, payload in items:
+            meta_rows.append(
+                (
+                    key,
+                    int(payload["schema"]),
+                    int(payload["events_processed"]),
+                    float(payload["sim_seconds"]),
+                )
+            )
+            payload_rows.append(
+                (
+                    key,
+                    json.dumps(
+                        payload["cell"], sort_keys=True, separators=(",", ":")
+                    ),
+                    json.dumps(payload["metrics"]),
+                )
+            )
+        conn = self._queue_connection()
+        with conn:
+            conn.executemany(
+                "INSERT OR REPLACE INTO meta VALUES (?,?,?,?)", meta_rows
+            )
+            conn.executemany(
+                "INSERT OR REPLACE INTO payloads VALUES (?,?,?)", payload_rows
+            )
+            marks = ",".join("?" * len(group_ids))
+            conn.execute(
+                f"UPDATE queue SET state='done', owner=?, deadline=NULL, "
+                f"error=NULL WHERE grp IN ({marks})",
+                (owner, *group_ids),
+            )
+
+    def queue_fail(self, group_id: str, error: str, *, poison: bool) -> None:
+        """Record a group's simulation failure.
+
+        ``poison=True`` retires the group loudly (deterministic errors,
+        exhausted retries); otherwise the group returns to pending with
+        its attempt count intact, to be retried by the next claim.
+        """
+        state = "poisoned" if poison else "pending"
+        conn = self._queue_connection()
+        with conn:
+            conn.execute(
+                "UPDATE queue SET state=?, owner=NULL, deadline=NULL, error=? "
+                "WHERE grp=? AND state!='done'",
+                (state, error, group_id),
+            )
+
+    def queue_release(self, owner: str) -> int:
+        """Return ``owner``'s live leases to pending (graceful shutdown)."""
+        conn = self._queue_connection()
+        with conn:
+            cursor = conn.execute(
+                "UPDATE queue SET state='pending', owner=NULL, deadline=NULL "
+                "WHERE state='leased' AND owner=?",
+                (owner,),
+            )
+            return cursor.rowcount
+
+    def queue_counts(self) -> dict[str, tuple[int, int]]:
+        """Per-state ``(cells, groups)`` counts (empty if no queue table)."""
+        if not self.queue_exists():
+            return {}
+        return {
+            row[0]: (row[1], row[2])
+            for row in self._connection().execute(
+                "SELECT state, COUNT(*), COUNT(DISTINCT grp) "
+                "FROM queue GROUP BY state"
+            )
+        }
+
+    def queue_retried_cells(self) -> int:
+        """Cells whose group was leased more than once (stolen/retried)."""
+        if not self.queue_exists():
+            return 0
+        [[n]] = self._connection().execute(
+            "SELECT COUNT(*) FROM queue WHERE attempts > 1"
+        )
+        return n
+
+    def queue_states(self, keys: Sequence[str]) -> dict[str, str]:
+        """``key -> state`` for the given keys (absent keys omitted)."""
+        if not self.queue_exists():
+            return {}
+        conn = self._connection()
+        states: dict[str, str] = {}
+        for chunk in _chunked(keys):
+            marks = ",".join("?" * len(chunk))
+            for key, state in conn.execute(
+                f"SELECT key, state FROM queue WHERE key IN ({marks})", chunk
+            ):
+                states[key] = state
+        return states
+
+    def queue_poisoned(self) -> list[tuple[str, str, int, str | None]]:
+        """Every poisoned ``(key, cell_json, attempts, error)`` row."""
+        if not self.queue_exists():
+            return []
+        return self._connection().execute(
+            "SELECT key, cell, attempts, error FROM queue WHERE state='poisoned'"
+        ).fetchall()
+
+    def queue_clear_done(self) -> int:
+        """Delete done lease rows (their results live on in meta/payloads)."""
+        if not self.queue_exists():
+            return 0
+        conn = self._connection()
+        with conn:
+            cursor = conn.execute("DELETE FROM queue WHERE state='done'")
+            return cursor.rowcount
+
+    def queue_requeue_poisoned(self) -> int:
+        """Reset poisoned groups to fresh pending rows; returns cells reset."""
+        if not self.queue_exists():
+            return 0
+        conn = self._connection()
+        with conn:
+            cursor = conn.execute(
+                "UPDATE queue SET state='pending', owner=NULL, deadline=NULL, "
+                "attempts=0, error=NULL WHERE state='poisoned'"
+            )
+            return cursor.rowcount
 
     # -- facts -----------------------------------------------------------------
 

@@ -126,6 +126,14 @@ class ExecutionReport:
     corrupt_dropped: int = 0
     #: Schema-stale cache entries dropped (clean turnover, not damage).
     stale_dropped: int = 0
+    #: Whether the caller configured parallel execution for this batch.
+    parallel_requested: bool = False
+    #: Whether misses actually ran on a parallel backend — False under
+    #: the quiet serial fallbacks (one worker, a single miss), which used
+    #: to make benchmark provenance guesswork on low-CPU hosts.
+    parallel_used: bool = False
+    #: Human-readable dispatch decision ("" until the batch decides).
+    parallel_reason: str = ""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -162,6 +170,10 @@ class ExecutionReport:
         self.chain_fallbacks += other.chain_fallbacks
         self.corrupt_dropped += other.corrupt_dropped
         self.stale_dropped += other.stale_dropped
+        self.parallel_requested = self.parallel_requested or other.parallel_requested
+        self.parallel_used = self.parallel_used or other.parallel_used
+        if other.parallel_reason:
+            self.parallel_reason = other.parallel_reason
 
     def render(self) -> str:
         """One-line human summary used by progress/summary printers."""
@@ -183,6 +195,9 @@ class ExecutionReport:
                 f" | cache dropped {self.corrupt_dropped} corrupt"
                 f" + {self.stale_dropped} stale"
             )
+        if self.parallel_reason:
+            mode = "parallel" if self.parallel_used else "serial"
+            line += f" | {mode} ({self.parallel_reason})"
         return line
 
 
@@ -296,17 +311,27 @@ class CellExecutor:
         if report.completed:
             self._emit(report)
 
+        report.parallel_requested = self.max_workers > 1
         if misses:
             sim_started = time.perf_counter()
             if self.max_workers == 1 or len(misses) == 1:
                 runner = self._run_serial
+                report.parallel_reason = (
+                    "max_workers=1"
+                    if self.max_workers == 1
+                    else f"single miss, {self.max_workers} workers idle"
+                )
             else:
                 runner = self._run_parallel
+                report.parallel_used = True
+                report.parallel_reason = f"process pool, {self.max_workers} workers"
             # Runners commit results to the store themselves, one write
             # batch per chain group / dispatch chunk.
             for cell, stored in runner(misses, report, started, sim_started):
                 resolved[cell] = stored
             report.sim_elapsed_seconds = time.perf_counter() - sim_started
+        else:
+            report.parallel_reason = "fully cached"
 
         report.corrupt_dropped = self.store.stats.corrupt_dropped - corrupt_before
         report.stale_dropped = self.store.stats.stale_dropped - stale_before

@@ -50,6 +50,7 @@ __all__ = [
     "ResultStore",
     "GcReport",
     "migrate_store",
+    "stored_payload",
     "DEFAULT_MEMORY_LIMIT",
 ]
 
@@ -67,6 +68,22 @@ class StoredResult:
     metrics: RunMetrics
     events_processed: int = 0
     sim_seconds: float = 0.0
+
+
+def stored_payload(cell: Cell, stored: StoredResult) -> dict:
+    """The canonical on-disk payload for one cell's result.
+
+    Shared by :meth:`ResultStore.put_many` and the distributed queue's
+    same-transaction completion path, so a worker-committed row is
+    byte-identical to one the store would have written.
+    """
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "cell": cell.to_payload(),
+        "events_processed": stored.events_processed,
+        "sim_seconds": stored.sim_seconds,
+        "metrics": metrics_to_payload(stored.metrics),
+    }
 
 
 @dataclass
@@ -366,13 +383,7 @@ class ResultStore:
                 self._memory.popitem(last=False)
 
     def _encode(self, cell: Cell, stored: StoredResult) -> dict:
-        return {
-            "schema": CACHE_SCHEMA_VERSION,
-            "cell": cell.to_payload(),
-            "events_processed": stored.events_processed,
-            "sim_seconds": stored.sim_seconds,
-            "metrics": metrics_to_payload(stored.metrics),
-        }
+        return stored_payload(cell, stored)
 
     def _decode(
         self, key: str, cell: Cell, payload: dict, doomed: list[str]

@@ -1,0 +1,27 @@
+"""Host provenance: the facts a benchmark number is meaningless without.
+
+Every ``BENCH_*.json`` writer stamps :func:`host_provenance` into its
+payload under ``"host"``, and ``benchmarks/compare_bench.py`` warns (but
+never fails) when two files being diffed were measured on differently
+shaped hosts — a 1-CPU container and a 16-core workstation produce
+legitimately different numbers, and the comparison should say so instead
+of letting a reader chase a phantom regression.  Keys are chosen to be
+stable, cheap, and dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+__all__ = ["host_provenance"]
+
+
+def host_provenance() -> dict:
+    """JSON-safe facts describing the measuring host."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.system().lower() or "unknown",
+        "machine": platform.machine() or "unknown",
+        "python": platform.python_version(),
+    }

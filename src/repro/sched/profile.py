@@ -309,18 +309,27 @@ class Profile:
     # -- mutations ------------------------------------------------------------------
 
     def _ensure_breakpoint(self, time: float) -> int:
-        """Make ``time`` a breakpoint (splitting a segment) and return its index."""
+        """Make ``time`` a breakpoint (splitting a segment) and return its index.
+
+        Exact search plus a two-sided tolerance snap.  Locating the
+        candidate via ``searchsorted(time + _EPS)`` is wrong here:
+        ``time + _EPS`` can round up onto an edge whose true distance
+        from ``time`` exceeds ``_EPS``, so the snap test rejects it yet
+        the insertion index lands *past* that edge — an out-of-order
+        corruption of the breakpoint array.
+        """
         times = self._times[: self._n]
-        index = int(times.searchsorted(time + _EPS, side="right")) - 1
-        if index >= 0 and abs(float(times[index]) - time) <= _EPS:
-            return index
+        pos = int(times.searchsorted(time, side="left"))
+        if pos < self._n and abs(float(times[pos]) - time) <= _EPS:
+            return pos
+        if pos > 0 and abs(float(times[pos - 1]) - time) <= _EPS:
+            return pos - 1
         if time < float(times[0]) - _EPS:
             raise ProfileError(
                 f"breakpoint {time} precedes profile origin {times[0]}"
             )
-        insert_at = index + 1
-        self._insert(insert_at, time, int(self._free[index]))
-        return insert_at
+        self._insert(pos, time, int(self._free[max(pos - 1, 0)]))
+        return pos
 
     def _apply(self, delta: int, start: float, end: float) -> None:
         if end <= start + _EPS:

@@ -140,18 +140,25 @@ class Profile:
     # -- mutations ------------------------------------------------------------------
 
     def _ensure_breakpoint(self, time: float) -> int:
-        """Make ``time`` a breakpoint (splitting a segment) and return its index."""
-        index = bisect.bisect_right(self._times, time + _EPS) - 1
-        if index >= 0 and abs(self._times[index] - time) <= _EPS:
-            return index
+        """Make ``time`` a breakpoint (splitting a segment) and return its index.
+
+        Exact bisect plus a two-sided tolerance snap (fixed in both
+        kernels together): ``bisect_right(time + _EPS)`` can round onto
+        an edge farther than ``_EPS`` from ``time``, rejecting the snap
+        yet inserting past that edge out of order.
+        """
+        pos = bisect.bisect_left(self._times, time)
+        if pos < len(self._times) and abs(self._times[pos] - time) <= _EPS:
+            return pos
+        if pos > 0 and abs(self._times[pos - 1] - time) <= _EPS:
+            return pos - 1
         if time < self._times[0] - _EPS:
             raise ProfileError(
                 f"breakpoint {time} precedes profile origin {self._times[0]}"
             )
-        insert_at = index + 1
-        self._times.insert(insert_at, time)
-        self._free.insert(insert_at, self._free[index])
-        return insert_at
+        self._times.insert(pos, time)
+        self._free.insert(pos, self._free[max(pos - 1, 0)])
+        return pos
 
     def _apply(self, delta: int, start: float, end: float) -> None:
         if end <= start + _EPS:

@@ -1,0 +1,42 @@
+"""Perf smoke test: a real spawned worker must drain the queue briskly.
+
+Runs a small slice of the ``benchmarks/bench_dist.py`` synthetic grid
+(150 cells instead of 10k) through one spawned worker process and
+asserts a deliberately generous throughput floor — far below the
+~150 cells/s the full benchmark records, so only a lost optimization
+(e.g. a claim transaction per cell instead of per batch) trips it, not
+CI jitter or process-startup noise.  Real numbers belong to
+``benchmarks/bench_dist.py`` + ``benchmarks/compare_bench.py``.
+"""
+
+import pytest
+
+from benchmarks.bench_dist import _drain_with_workers, sweep_cells, synthetic_cells
+
+N_CELLS = 150
+
+#: cells/s floor including spawn startup; the full bench measures ~150.
+MIN_CELLS_PER_SECOND = 5.0
+
+
+@pytest.mark.perf
+def test_single_worker_drains_synthetic_grid_briskly():
+    cells = synthetic_cells(N_CELLS)
+    # _drain_with_workers asserts full completion (all done, none
+    # poisoned, worker exit 0) before returning timings.
+    _, drain_seconds = _drain_with_workers(cells, 1)
+    rate = N_CELLS / drain_seconds
+    assert rate >= MIN_CELLS_PER_SECOND, (
+        f"queue drain slowed to {rate:.1f} cells/s (floor "
+        f"{MIN_CELLS_PER_SECOND}); run benchmarks/bench_dist.py and compare "
+        "against the checked-in BENCH_dist.json"
+    )
+
+
+@pytest.mark.perf
+def test_sweep_grid_shape_matches_bench_sweep():
+    # The equivalence leg must keep measuring the same 90-cell grid the
+    # sweep bench established as the paper-shaped workload.
+    cells = sweep_cells()
+    assert len(cells) == 90
+    assert len(set(cells)) == 90

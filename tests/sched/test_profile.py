@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import ProfileError
+from repro.sched import profile_ref
 from repro.sched.profile import Profile
 
 
@@ -85,6 +86,26 @@ class TestReserveRelease:
         p.reserve(4, 10.0, 10.0)
         # [0,20) at 6 free should be a single segment.
         assert p.breakpoints() == [(0.0, 6), (20.0, 10)]
+
+    def test_near_coincident_edges_keep_breakpoints_sorted(self):
+        # Regression: an edge landing just under tolerance-distance below
+        # an existing one (here 1.0 against 1.000000001, ~1.0000001e-9
+        # apart) used to be inserted *after* it — ``time + _EPS`` rounded
+        # onto the existing edge while the snap test measured the true
+        # distance as beyond _EPS — corrupting the sort invariant and
+        # the copied free count.  Found by the claim/compose property.
+        for kernel in (Profile, profile_ref.Profile):
+            p = kernel(16)
+            p.reserve(1, 1e-09, 1.0)
+            p.reserve(1, 1.0, 1.0)
+            times = [t for t, _ in p.breakpoints()]
+            assert times == sorted(times)
+            assert p.breakpoints() == [
+                (0.0, 15),
+                (1.0, 14),
+                (1.000000001, 15),
+                (2.0, 16),
+            ]
 
 
 class TestMinFree:

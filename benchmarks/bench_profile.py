@@ -8,9 +8,17 @@ a loaded profile, and the advance garbage-collection.
 import numpy as np
 import pytest
 
+from repro.hostinfo import host_provenance
 from repro.sched.profile import Profile
 
 TOTAL = 430  # CTC machine size
+
+
+@pytest.fixture(autouse=True)
+def _host_stamp(benchmark):
+    """Stamp host provenance into the exported benchmark JSON so
+    ``compare_bench.py`` host-drift warnings cover this artifact too."""
+    benchmark.extra_info["host"] = host_provenance()
 
 
 def _loaded_profile(n_reservations: int, seed: int = 0) -> Profile:

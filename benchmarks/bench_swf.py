@@ -9,10 +9,18 @@ import io
 
 import pytest
 
+from repro.hostinfo import host_provenance
 from repro.workload.generators.ctc import CTCGenerator
 from repro.workload.swf import read_swf, write_swf
 
 N_JOBS = 5_000
+
+
+@pytest.fixture(autouse=True)
+def _host_stamp(benchmark):
+    """Stamp host provenance into the exported benchmark JSON so
+    ``compare_bench.py`` host-drift warnings cover this artifact too."""
+    benchmark.extra_info["host"] = host_provenance()
 
 
 @pytest.fixture(scope="module")

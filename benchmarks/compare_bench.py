@@ -71,6 +71,26 @@ def schema_warnings(old: dict, new: dict) -> list[str]:
     return warnings
 
 
+def _extract_host(payload: dict) -> dict:
+    """Host provenance from either BENCH schema.
+
+    Hand-rolled BENCH_*.json writers stamp ``host`` at the top level;
+    pytest-benchmark exports carry it per-benchmark under
+    ``benchmarks[*].extra_info.host`` (stamped by the fixtures in
+    ``benchmarks/conftest.py`` et al.) — all rows of one export share
+    one host, so the first is representative.
+    """
+    host = payload.get("host")
+    if isinstance(host, dict) and host:
+        return host
+    for row in payload.get("benchmarks") or []:
+        if isinstance(row, dict):
+            extra = row.get("extra_info")
+            if isinstance(extra, dict) and isinstance(extra.get("host"), dict):
+                return extra["host"]
+    return {}
+
+
 def host_warnings(old: dict, new: dict) -> list[str]:
     """Non-fatal host-shape drift between two payloads.
 
@@ -80,8 +100,8 @@ def host_warnings(old: dict, new: dict) -> list[str]:
     runs (its threshold absorbs honest variance), but the comparison
     must say the hosts differ so nobody chases a phantom regression.
     """
-    old_host = old.get("host") or {}
-    new_host = new.get("host") or {}
+    old_host = _extract_host(old)
+    new_host = _extract_host(new)
     if not isinstance(old_host, dict) or not isinstance(new_host, dict):
         return []
     if not old_host and not new_host:

@@ -17,11 +17,16 @@ import pytest
 from repro.experiments.config import QUICK_PARAMS
 from repro.experiments.registry import run_experiment
 from repro.experiments.runner import clear_cache
+from repro.hostinfo import host_provenance
 
 
 @pytest.fixture
 def run_artifact(benchmark, capsys):
     """Benchmark one experiment id and return its ExperimentResult."""
+    # Exported pytest-benchmark JSON carries the same host provenance
+    # the hand-rolled BENCH_*.json writers stamp, so compare_bench.py
+    # can flag host drift on every artifact, not just the custom ones.
+    benchmark.extra_info["host"] = host_provenance()
 
     def _run(experiment_id: str):
         clear_cache()

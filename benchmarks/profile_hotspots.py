@@ -72,7 +72,10 @@ def profile_sweep(
     stats = pstats.Stats(profiler, stream=stream)
     for sort in ("cumulative", "tottime"):
         print(f"## top {top} by {sort}", file=stream)
-        stats.sort_stats(sort).print_stats(top)
+        # "stdname" tiebreaks rows with equal times by function name, so
+        # repeated runs (and diffs of saved output) list ties in one
+        # stable order instead of hash order.
+        stats.sort_stats(sort, "stdname").print_stats(top)
     return profiler
 
 

@@ -96,6 +96,23 @@ TRAJECTORY = [
             ("retried cells after kill", "fault_retried_cells", "{:d}"),
         ],
     },
+    {
+        "file": "BENCH_backfill.json",
+        "subject": "batched backfill claims, deep-queue cons-FCFS",
+        "headlines": [
+            (
+                "sequential claims",
+                "deep_sequential_job_events_per_second",
+                "{:,.0f} job events/s",
+            ),
+            (
+                "batched claims",
+                "deep_batched_job_events_per_second",
+                "{:,.0f} job events/s",
+            ),
+            ("speedup", "deep_speedup_cons_fcfs", "{:.2f}x"),
+        ],
+    },
 ]
 
 

@@ -518,8 +518,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         import pstats
 
         profiler.disable()
+        # Secondary "stdname" key pins the order of equal-time rows, so
+        # back-to-back --profile runs diff cleanly.
         pstats.Stats(profiler, stream=sys.stderr).sort_stats(
-            "cumulative"
+            "cumulative", "stdname"
         ).print_stats(args.profile)
     overall = metrics.overall
     print(f"workload : {workload_name} ({len(workload)} jobs, "

@@ -413,6 +413,34 @@ class SqliteBackend(StoreBackend):
                 (state, error, group_id),
             )
 
+    def queue_renew(
+        self,
+        owner: str,
+        group_ids: Sequence[str],
+        *,
+        now: float,
+        lease_seconds: float,
+    ) -> int:
+        """Push the lease deadline out for ``owner``'s live groups.
+
+        Only rows still leased *to this owner* are touched: a group that
+        expired and was stolen belongs to the thief, and renewing it here
+        would put two workers on the same unit.  Returns the number of
+        cells whose deadline moved — a caller holding fewer renewals
+        than cells knows part of its claim was stolen.
+        """
+        if not group_ids:
+            return 0
+        conn = self._queue_connection()
+        with conn:
+            marks = ",".join("?" * len(group_ids))
+            cursor = conn.execute(
+                f"UPDATE queue SET deadline=? WHERE grp IN ({marks}) "
+                "AND state='leased' AND owner=?",
+                (now + lease_seconds, *group_ids, owner),
+            )
+            return cursor.rowcount
+
     def queue_release(self, owner: str) -> int:
         """Return ``owner``'s live leases to pending (graceful shutdown)."""
         conn = self._queue_connection()

@@ -80,6 +80,9 @@ class WorkerReport:
     #: Claim calls that found nothing claimable (drain checks + waits on
     #: other workers' live leases).
     idle_polls: int = 0
+    #: Cells whose lease deadline this worker pushed out between chain
+    #: groups of a multi-group claim batch.
+    leases_renewed: int = 0
 
     def render(self) -> str:
         line = (
@@ -90,6 +93,8 @@ class WorkerReport:
         )
         if self.chains:
             line += f" | {self.chains} chains ({self.chain_forks} forks)"
+        if self.leases_renewed:
+            line += f" | {self.leases_renewed} leases renewed"
         if self.groups_failed:
             line += f" | {self.groups_failed} groups failed"
         return line
@@ -126,8 +131,21 @@ def run_worker(
             claimed = queue.claim(report.owner, limit_groups=batch_groups)
             if claimed:
                 idle_since = None
-                for group in claimed:
+                for index, group in enumerate(claimed):
                     _run_group(queue, group, report)
+                    # One group can outlive the whole batch's lease (a
+                    # deep-queue condition simulates orders of magnitude
+                    # slower than the median cell), so re-arm the
+                    # deadline on the groups still waiting their turn
+                    # before starting the next one.  Renewal skips
+                    # anything already stolen — that work now belongs
+                    # to the thief and re-simulating it here would race
+                    # the commit.
+                    remaining = [g.group_id for g in claimed[index + 1 :]]
+                    if remaining:
+                        report.leases_renewed += queue.renew(
+                            report.owner, remaining
+                        )
                     report.elapsed_seconds = time.perf_counter() - started
                     if progress is not None:
                         progress(report)

@@ -303,6 +303,32 @@ class CellQueue:
         ]
         self._backend.queue_complete(owner, list(group_ids), items)
 
+    def renew(
+        self,
+        owner: str,
+        group_ids: Sequence[str],
+        *,
+        now: float | None = None,
+    ) -> int:
+        """Extend ``owner``'s live leases on ``group_ids`` by a fresh
+        lease period; returns the number of cells renewed.
+
+        Workers call this between chain groups of a multi-group claim:
+        a batch sized for milliseconds-per-cell can still outlive its
+        lease when one group lands on a deep-queue condition, and
+        without renewal the *unstarted* groups of the batch expire and
+        get re-simulated by a thief.  Renewal only touches rows still
+        leased to ``owner`` — anything already stolen stays with the
+        thief (fewer renewals than cells is the caller's stolen-work
+        signal).  ``now`` is a test seam, as in :meth:`claim`.
+        """
+        return self._backend.queue_renew(
+            owner,
+            list(group_ids),
+            now=time.time() if now is None else now,
+            lease_seconds=self.lease_seconds,
+        )
+
     def fail(self, gid: str, error: str, *, poison: bool) -> None:
         """Report a group's simulation failure (poison or retry)."""
         self._backend.queue_fail(gid, error, poison=poison)

@@ -201,6 +201,14 @@ class ConservativeScheduler(Scheduler):
             if finished_early:
                 self._repack(now, started)
             else:
+                # Incremental-repack short-circuit: a job that finishes
+                # exactly at its estimate releases processors at precisely
+                # the horizon the profile already encodes, so rebuilding
+                # would reproduce the advanced profile bit for bit.  Skip
+                # the rebuild + re-claim entirely and only start the jobs
+                # whose reservations are due (DESIGN.md §14) — with exact
+                # user estimates (half the paper's grid) NO finish ever
+                # repacks.
                 self._profile_at(now)
                 self._start_due(now, started)
             return started
@@ -226,6 +234,14 @@ class ConservativeScheduler(Scheduler):
                 self._dequeue(queued)
                 self._start_now(queued, now, started)
                 committed += queued.procs
+        # Re-arm the next pending reservation: the batched repack arms only
+        # the *earliest* reservation instead of one timer per queued job
+        # (the engine dedupes by exact time, so on the sequential path this
+        # is a no-op re-request of an already-armed time).  Consuming the
+        # due timer therefore must arm the next one, or later reservations
+        # would only be serviced by coincidental job events.
+        if self._reservation_start:
+            self.request_wakeup(min(self._reservation_start.values()))
 
     def _repack(self, now: float, started: list[Job]) -> None:
         """Rebuild every queued reservation against the current state.
@@ -254,15 +270,47 @@ class ConservativeScheduler(Scheduler):
         carve_reservations(profile, self.advance_reservations, now)
         self._profile = profile
         committed = sum(j.procs for j in started)
-        for queued in self._ordered_queue(now):
-            start = profile.claim(queued.procs, queued.estimate, now)
+        ordered = self._ordered_queue(now)
+        starts = None
+        if self.use_batch_claims and len(ordered) > 1:
+            starts = profile.claim_many(
+                [q.procs for q in ordered], [q.estimate for q in ordered], now
+            )
+        wake = None
+        for i, queued in enumerate(ordered):
+            if starts is not None:
+                start = starts[i]
+            else:
+                start = profile.claim(queued.procs, queued.estimate, now)
             self._reservation_start[queued.job_id] = start
             if start <= now + _EPS and self._machine_fits(queued, committed):
+                if starts is not None and start != now:
+                    # _start_now is about to re-align this job's reservation
+                    # tail, mutating the profile mid-pass.  The batch claimed
+                    # the remaining jobs against the unmutated profile, so
+                    # roll those claims back and fall through to per-job
+                    # claims that see the re-aligned state, exactly as the
+                    # sequential loop would.
+                    for later_index in range(i + 1, len(ordered)):
+                        later = ordered[later_index]
+                        profile.release(
+                            later.procs, starts[later_index], later.estimate
+                        )
+                    starts = None
                 self._dequeue(queued)
                 self._start_now(queued, now, started)
                 committed += queued.procs
-            else:
+            elif starts is None:
                 self.request_wakeup(start)
+            elif wake is None or start < wake:
+                # Batched pass: one timer at the earliest reservation covers
+                # the whole queue — _start_due re-arms the next one when it
+                # fires, and any repack before then re-plans everything
+                # anyway.  (Identical schedules, strictly fewer timer
+                # events; see DESIGN.md §14.)
+                wake = start
+        if wake is not None:
+            self.request_wakeup(wake)
 
     def _backfill_pass(self, now: float, started: list[Job], *, move_future: bool) -> None:
         """Reconsider queued jobs in priority order after a hole opened.

@@ -58,6 +58,8 @@ class DepthScheduler(Scheduler):
         return f"{self.name}({self.priority.name}, k={self.depth})"
 
     def _schedule_pass(self, now: float) -> list[Job]:
+        if not self._queue:
+            return []
         machine = self._machine()
         # The plan is rebuilt from scratch each pass, but into a reused
         # buffer: one endpoint sweep, no per-event allocation.
@@ -76,13 +78,35 @@ class DepthScheduler(Scheduler):
             carve_reservations(profile, self.advance_reservations, now)
         queue = self._ordered_queue(now)
         started: list[Job] = []
+        batch = self.use_batch_claims
 
         reservations: dict[int, float] = {}
-        for job in queue[: self.depth]:
-            reservations[job.job_id] = profile.claim(job.procs, job.estimate, now)
+        head = queue[: self.depth]
+        if batch and len(head) > 1:
+            for job, start in zip(
+                head,
+                profile.claim_many(
+                    [j.procs for j in head], [j.estimate for j in head], now
+                ),
+            ):
+                reservations[job.job_id] = start
+        else:
+            for job in head:
+                reservations[job.job_id] = profile.claim(job.procs, job.estimate, now)
+
+        # One vectorized min_free over the post-claim profile prefilters
+        # the unreserved backfill candidates: free counts only shrink as
+        # this pass reserves, so a failing window here is definitively
+        # infeasible and the job needs no per-job kernel call at all.  A
+        # passing window is exact until the first same-pass reserve
+        # (``dirty``), after which it is re-verified scalar-wise.
+        mins = None
+        if batch and len(queue) > len(head):
+            mins = profile.min_free_many([j.estimate for j in queue], now)
+        dirty = False
 
         committed = 0
-        for job in queue:
+        for i, job in enumerate(queue):
             if job.job_id in reservations:
                 if reservations[job.job_id] <= now + _EPS and self._machine_fits(
                     job, committed
@@ -91,10 +115,17 @@ class DepthScheduler(Scheduler):
                     started.append(job)
                     committed += job.procs
             else:
-                if profile.min_free(
-                    now, job.estimate
-                ) >= job.procs and self._machine_fits(job, committed):
+                if mins is not None:
+                    if mins[i] < job.procs:
+                        continue
+                    fits_profile = not dirty or (
+                        profile.min_free(now, job.estimate) >= job.procs
+                    )
+                else:
+                    fits_profile = profile.min_free(now, job.estimate) >= job.procs
+                if fits_profile and self._machine_fits(job, committed):
                     profile.reserve(job.procs, now, job.estimate)
+                    dirty = True
                     self._dequeue(job)
                     started.append(job)
                     committed += job.procs

@@ -87,6 +87,8 @@ class SelectiveScheduler(Scheduler):
                 self._reserved_ids.add(job.job_id)
 
     def _schedule_pass(self, now: float) -> list[Job]:
+        if not self._queue:
+            return []
         machine = self._machine()
         self._update_reserved_set(now)
 
@@ -109,16 +111,35 @@ class SelectiveScheduler(Scheduler):
 
         queue = self._ordered_queue(now)
         started: list[Job] = []
+        batch = self.use_batch_claims
 
         # Give the needy jobs reservations, in priority order.
         reservations: dict[int, float] = {}
-        for job in queue:
-            if job.job_id in self._reserved_ids:
+        needy = [job for job in queue if job.job_id in self._reserved_ids]
+        if batch and len(needy) > 1:
+            for job, start in zip(
+                needy,
+                profile.claim_many(
+                    [j.procs for j in needy], [j.estimate for j in needy], now
+                ),
+            ):
+                reservations[job.job_id] = start
+        else:
+            for job in needy:
                 reservations[job.job_id] = profile.claim(job.procs, job.estimate, now)
+
+        # One vectorized min_free prefilters the unreserved candidates (see
+        # DepthScheduler._schedule_pass: False is definitive because free
+        # counts only shrink; True is re-verified once a same-pass reserve
+        # has dirtied the profile).
+        mins = None
+        if batch and len(queue) > len(needy):
+            mins = profile.min_free_many([j.estimate for j in queue], now)
+        dirty = False
 
         # Start whatever can run immediately without disturbing reservations.
         committed = 0
-        for job in queue:
+        for i, job in enumerate(queue):
             if job.job_id in reservations:
                 if reservations[job.job_id] <= now + _EPS and self._machine_fits(
                     job, committed
@@ -128,10 +149,17 @@ class SelectiveScheduler(Scheduler):
                     self._reserved_ids.discard(job.job_id)
                     committed += job.procs
             else:
-                if profile.min_free(
-                    now, job.estimate
-                ) >= job.procs and self._machine_fits(job, committed):
+                if mins is not None:
+                    if mins[i] < job.procs:
+                        continue
+                    fits_profile = not dirty or (
+                        profile.min_free(now, job.estimate) >= job.procs
+                    )
+                else:
+                    fits_profile = profile.min_free(now, job.estimate) >= job.procs
+                if fits_profile and self._machine_fits(job, committed):
                     profile.reserve(job.procs, now, job.estimate)
+                    dirty = True
                     self._dequeue(job)
                     started.append(job)
                     committed += job.procs

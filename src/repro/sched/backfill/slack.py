@@ -103,8 +103,14 @@ class SlackScheduler(Scheduler):
 
         Mutates the given profile; callers rebuild it before each call.
         """
+        ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        if self.use_batch_claims and len(ordered) > 1:
+            starts = profile.claim_many(
+                [j.procs for j in ordered], [j.estimate for j in ordered], now
+            )
+            return {job.job_id: start for job, start in zip(ordered, starts)}
         plan: dict[int, float] = {}
-        for job in sorted(jobs, key=lambda j: (j.submit_time, j.job_id)):
+        for job in ordered:
             plan[job.job_id] = profile.claim(job.procs, job.estimate, now)
         return plan
 
@@ -116,6 +122,8 @@ class SlackScheduler(Scheduler):
     # -- the scheduling pass ------------------------------------------------------
 
     def _schedule_pass(self, now: float) -> list[Job]:
+        if not self._queue:
+            return []
         started: list[Job] = []
         pseudo_running: list[tuple[Job, float]] = []
 

@@ -31,7 +31,20 @@ from repro.sched.priority.policies import FCFSPriority, PriorityPolicy
 from repro.sched.profile import Profile
 from repro.workload.job import Job
 
-__all__ = ["Scheduler"]
+__all__ = ["Scheduler", "configure_sequential_claims"]
+
+
+def configure_sequential_claims(scheduler: "Scheduler") -> "Scheduler":
+    """Flip a scheduler instance onto the per-job scalar claim loops.
+
+    The batched and sequential paths are pinned byte-identical by the
+    batch-claim property suite; this switch exists so
+    ``benchmarks/bench_backfill.py`` can measure the batched kernel
+    against the exact pre-batching control flow on the same profile
+    implementation.  Call before ``bind()``.
+    """
+    scheduler.use_batch_claims = False
+    return scheduler
 
 
 class Scheduler(ABC):
@@ -63,6 +76,15 @@ class Scheduler(ABC):
     #: Keep statically-keyed queues sorted by binary insertion instead of
     #: re-sorting every pass.  Flip to False for the reference kernel.
     incremental_queue: bool = True
+
+    #: Route repack/backfill queue scans through the profile's batch
+    #: primitives (``claim_many`` / ``min_free_many`` / admission masks)
+    #: instead of one scalar kernel call per queued job.  Schedules are
+    #: byte-identical either way (pinned by the batch-claim property
+    #: suite); flip to False for the sequential baseline that
+    #: ``benchmarks/bench_backfill.py`` measures against (see
+    #: :func:`configure_sequential_claims`).
+    use_batch_claims: bool = True
 
     def __init__(self, priority: PriorityPolicy | None = None) -> None:
         self.priority: PriorityPolicy = priority or FCFSPriority()

@@ -44,10 +44,53 @@ import numpy as np
 
 from repro.errors import ProfileError
 
-__all__ = ["Profile"]
+__all__ = [
+    "Profile",
+    "fits_mask",
+    "finishes_by_mask",
+    "fitting_prefix_count",
+]
 
 #: Tolerance for comparing reservation timestamps.
 _EPS = 1e-9
+
+
+# -- batch admission helpers (no profile state needed) ---------------------------
+#
+# The backfill disciplines that plan without an availability profile (EASY's
+# shadow/extra pair, nobf's in-order prefix) still scan the queue one job at
+# a time.  These helpers evaluate the whole queue in one vectorized pass;
+# because the quantities they test against only shrink during a scheduling
+# pass (free processors and extra processors are only ever decremented as
+# jobs start), a False verdict computed against the *initial* value is
+# definitive and the job can be skipped with no per-job work at all.
+
+
+def fits_mask(procs, available: int):
+    """``procs[i] <= available`` for every candidate, as a bool ndarray."""
+    return np.asarray(procs, dtype=np.int64) <= available
+
+
+def finishes_by_mask(now: float, durations, deadline: float):
+    """``now + durations[i] <= deadline + _EPS`` for every candidate.
+
+    The tolerance is the kernel epsilon — the same comparison EASY's
+    scalar backfill test uses (easy.py shares ``_EPS = 1e-9``).
+    """
+    return np.asarray(durations, dtype=np.float64) + now <= deadline + _EPS
+
+
+def fitting_prefix_count(procs, available: int) -> int:
+    """Length of the maximal prefix with ``sum(procs[:k]) <= available``.
+
+    The vectorized form of nobf's head-blocks-everything start loop:
+    processor demands are all positive, so the cumulative sum is strictly
+    increasing and the prefix boundary is a single ``searchsorted``.
+    """
+    demands = np.asarray(procs, dtype=np.int64)
+    if demands.size == 0:
+        return 0
+    return int(np.cumsum(demands).searchsorted(available, side="right"))
 
 
 class Profile:
@@ -305,6 +348,293 @@ class Profile:
         if first > 0 and self._free[first] == self._free[first - 1]:
             self._delete(first)
         return begin
+
+    # -- batch primitives --------------------------------------------------------
+
+    def _validate_many(self, procs: np.ndarray, durations: np.ndarray) -> None:
+        """Vectorized version of the scalar claim/find_start argument checks."""
+        bad = ((procs <= 0) | (procs > self.total_procs)).nonzero()[0]
+        if bad.size:
+            raise ProfileError(
+                f"cannot place {int(procs[bad[0]])} procs on a "
+                f"{self.total_procs}-proc profile"
+            )
+        bad = (durations <= 0).nonzero()[0]
+        if bad.size:
+            raise ProfileError(
+                f"duration must be > 0, got {float(durations[bad[0]])}"
+            )
+
+    def _sweep_many(
+        self, procs: np.ndarray, durations: np.ndarray, earliest: float, index: int
+    ) -> np.ndarray:
+        """Earliest feasible start for each job, in one 2D sweep.
+
+        ``earliest`` must already be clamped to the origin and ``index``
+        must be ``searchsorted(earliest, "right") - 1`` (the segment
+        containing ``earliest``).  Equivalent to one :meth:`find_start`
+        per row: a position is a valid anchor iff its segment is feasible
+        and the feasible run containing it extends past ``anchor +
+        duration - _EPS``; within a run the earliest anchor dominates, so
+        the first valid position per row is exactly the run start (or
+        ``earliest`` itself) the scalar sweep would return.
+        """
+        n = self._n
+        seg_times = self._times[index:n]
+        seg_free = self._free[index:n]
+        b = n - index
+        feasible = seg_free[None, :] >= procs[:, None]
+        # Per row, the first infeasible segment at or after each position:
+        # infeasible positions keep their own index, feasible ones take the
+        # sentinel ``b``, and a reversed running minimum propagates the next
+        # blocker leftwards.
+        positions = np.arange(b)
+        blocked = np.where(feasible, b, positions[None, :])
+        next_block = np.minimum.accumulate(blocked[:, ::-1], axis=1)[:, ::-1]
+        # The run containing a feasible position ends where its next blocker
+        # begins; the final segment's run extends to infinity.
+        edge = np.empty(b + 1, dtype=np.float64)
+        edge[:b] = seg_times
+        edge[b] = np.inf
+        run_end = edge[next_block]
+        anchors = seg_times.astype(np.float64, copy=True)
+        anchors[0] = earliest  # seg_times[0] <= earliest by choice of index
+        ok = feasible & (run_end >= anchors[None, :] + durations[:, None] - _EPS)
+        covered = ok.any(axis=1)
+        if not covered.all():
+            k = int(np.flatnonzero(~covered)[0])
+            raise ProfileError(
+                f"no feasible start for {int(procs[k])} procs x "
+                f"{float(durations[k])}s — the profile's tail is over-reserved"
+            )
+        return anchors[ok.argmax(axis=1)]
+
+    def find_start_many(self, procs, durations, earliest: float) -> list[float]:
+        """:meth:`find_start` for many jobs against the *current* profile.
+
+        One vectorized sweep over the breakpoint arrays answers every
+        ``(procs[i], durations[i])`` what-if at once; the profile is not
+        mutated, so the results are independent (each is what
+        :meth:`find_start` would return right now — NOT the outcome of
+        claiming them in sequence; see :meth:`claim_many` for that).
+        """
+        procs = np.ascontiguousarray(procs, dtype=np.int64)
+        durations = np.ascontiguousarray(durations, dtype=np.float64)
+        if procs.shape[0] == 0:
+            return []
+        self._validate_many(procs, durations)
+        times = self._times[: self._n]
+        if earliest < times[0]:
+            earliest = float(times[0])
+        index = int(times.searchsorted(earliest, side="right")) - 1
+        return self._sweep_many(procs, durations, earliest, index).tolist()
+
+    def claim_many(self, procs, durations, earliest: float) -> list[float]:
+        """Sequential :meth:`claim` for many jobs, batched.
+
+        State- and value-identical to ``[self.claim(p, d, earliest) for
+        p, d in ...]`` — the repack loop of every reservation discipline —
+        but with the per-call overhead amortized across the batch:
+
+        * argument validation runs once up front over the whole batch (so
+          invalid input fails fast with the profile untouched, instead of
+          after the preceding claims applied);
+        * the segment containing ``earliest`` is located once and then
+          maintained *incrementally* — the only mutation that can move it
+          is this loop's own insert-at-``earliest`` (and the coalescing
+          delete that can later remove that breakpoint), both of which
+          are visible at the call site, so the per-claim ``searchsorted``
+          over the anchor is gone;
+        * the ``_insert``/``_delete``/``_ensure_breakpoint`` helpers are
+          inlined with the backing arrays and live length hoisted into
+          locals, eliminating a half-dozen method calls and attribute
+          loads per job.
+
+        A 2D precompute-then-recheck scheme (sweep the chunk's starts up
+        front via :meth:`_sweep_many`, commit each after an exactness
+        recheck) was tried first and *loses* on the deep-queue repacks
+        this call exists for: consecutive FCFS claims compete for the same
+        holes, so >95% of precomputed starts go stale after the first
+        commit and every job pays the recheck on top of a full scalar
+        claim (see DESIGN.md section 14).  The batch win on contended
+        profiles comes from stripping the sequential loop, not from
+        precomputing against a profile that is about to change.
+        """
+        plist = [int(p) for p in procs]
+        dlist = [float(d) for d in durations]
+        total = len(plist)
+        if total == 0:
+            return []
+        # Same checks and messages as the scalar claim, batched via
+        # C-speed min/max instead of a numpy round-trip.
+        if min(plist) <= 0 or max(plist) > self.total_procs:
+            bad = next(
+                p for p in plist if p <= 0 or p > self.total_procs
+            )
+            raise ProfileError(
+                f"cannot place {bad} procs on a {self.total_procs}-proc profile"
+            )
+        if min(dlist) <= 0:
+            bad = next(d for d in dlist if d <= 0)
+            raise ProfileError(f"duration must be > 0, got {bad}")
+        out: list[float] = []
+        append = out.append
+
+        times_arr = self._times
+        free_arr = self._free
+        n = self._n
+        t0 = float(times_arr[0])
+        base = earliest if earliest > t0 else t0
+        # Segment containing ``base`` (== claim's per-call searchsorted).
+        index = int(times_arr[:n].searchsorted(base, side="right")) - 1
+
+        for j in range(total):
+            p = plist[j]
+            d = dlist[j]
+
+            # -- find (claim's sweep, via C-speed byte scans) --------------
+            # The feasibility mask is materialized once as raw bytes and
+            # the maximal feasible runs are walked with ``bytes.find``
+            # (memchr): enumerating runs this way visits exactly the flip
+            # positions claim's ``nonzero`` sweep produces, but the winner
+            # is usually found after two or three probes instead of
+            # materializing every flip.
+            buf = (free_arr[index:n] >= p).tobytes()
+            find = buf.find
+            begin = 0.0
+            bp = -2  # not yet found
+            cursor = 0
+            if buf[0]:
+                blocker = find(0, 1)
+                if blocker < 0 or times_arr[index + blocker] >= base + d - _EPS:
+                    begin = base
+                    bp = -1
+                else:
+                    cursor = blocker + 1
+            while bp == -2:
+                s = find(1, cursor)
+                if s < 0:
+                    self._n = n
+                    raise ProfileError(
+                        f"no feasible start for {p} procs x {d}s — "
+                        "the profile's tail is over-reserved"
+                    )
+                blocker = find(0, s + 1)
+                anchor = float(times_arr[index + s])
+                if blocker < 0 or times_arr[index + blocker] >= anchor + d - _EPS:
+                    begin = anchor  # final run extends to the infinite tail
+                    bp = index + s
+                else:
+                    cursor = blocker + 1
+
+            # -- apply (claim's tail, helpers inlined) ---------------------
+            if bp >= 0:
+                first = bp
+            else:
+                nxt = index + 1
+                if nxt < n and float(times_arr[nxt]) - begin <= _EPS:
+                    first = nxt
+                elif begin - float(times_arr[index]) <= _EPS:
+                    first = index
+                else:
+                    # insert breakpoint ``begin`` (== base) at index + 1
+                    if n + 1 > len(times_arr):
+                        self._n = n
+                        self._reserve_capacity(n + 1)
+                        times_arr = self._times
+                        free_arr = self._free
+                    pos = index + 1
+                    times_arr[pos + 1 : n + 1] = times_arr[pos:n]
+                    free_arr[pos + 1 : n + 1] = free_arr[pos:n]
+                    times_arr[pos] = begin
+                    free_arr[pos] = free_arr[index]
+                    n += 1
+                    first = pos
+                    index = pos  # the anchor segment now starts at ``base``
+
+            end = begin + d
+            # Deep-queue claims stack at the far end of the profile, so the
+            # end edge very often lands beyond every breakpoint — a scalar
+            # compare against the last one skips the binary search.
+            if end - float(times_arr[n - 1]) > _EPS:
+                pos = n
+            else:
+                pos = int(times_arr[:n].searchsorted(end, side="left"))
+            if pos < n and abs(float(times_arr[pos]) - end) <= _EPS:
+                last = pos
+            elif pos > 0 and abs(float(times_arr[pos - 1]) - end) <= _EPS:
+                last = pos - 1
+            else:
+                # insert breakpoint ``end`` at pos (pos >= 1: end > base >= t0)
+                if n + 1 > len(times_arr):
+                    self._n = n
+                    self._reserve_capacity(n + 1)
+                    times_arr = self._times
+                    free_arr = self._free
+                times_arr[pos + 1 : n + 1] = times_arr[pos:n]
+                free_arr[pos + 1 : n + 1] = free_arr[pos:n]
+                times_arr[pos] = end
+                free_arr[pos] = free_arr[pos - 1]
+                n += 1
+                last = pos
+
+            if last == first + 1:
+                free_arr[first] -= p
+            else:
+                free_arr[first:last] -= p
+            if free_arr[last] == free_arr[last - 1]:
+                times_arr[last : n - 1] = times_arr[last + 1 : n]
+                free_arr[last : n - 1] = free_arr[last + 1 : n]
+                n -= 1
+            if first > 0 and free_arr[first] == free_arr[first - 1]:
+                times_arr[first : n - 1] = times_arr[first + 1 : n]
+                free_arr[first : n - 1] = free_arr[first + 1 : n]
+                n -= 1
+                if first == index:
+                    # The coalesce removed the breakpoint at ``base`` that
+                    # an earlier iteration inserted; the anchor segment
+                    # reverts to the one preceding it.
+                    index -= 1
+
+            append(begin)
+
+        self._n = n
+        return out
+
+    def min_free_many(self, durations, start: float) -> list[int]:
+        """:meth:`min_free` from a common ``start`` for many durations.
+
+        One running minimum over the free array answers every window at
+        once: ``min_free(start, d)`` is the cumulative minimum at the last
+        segment the window overlaps.  Durations must be positive (the
+        scalar method's ``duration <= 0`` point-query special case is not
+        replicated).
+        """
+        durations = np.ascontiguousarray(durations, dtype=np.float64)
+        if durations.shape[0] == 0:
+            return []
+        if (durations <= 0).any():
+            bad = float(durations[durations <= 0][0])
+            raise ProfileError(f"duration must be > 0, got {bad}")
+        n = self._n
+        times = self._times[:n]
+        first = max(int(times.searchsorted(start + _EPS, side="right")) - 1, 0)
+        stops = times.searchsorted(start + durations - _EPS, side="left")
+        running_min = np.minimum.accumulate(self._free[first:n])
+        result = np.where(
+            stops <= first,
+            self.total_procs,
+            running_min[np.maximum(stops - first - 1, 0)],
+        )
+        return result.tolist()
+
+    def fits_now_mask(self, procs) -> np.ndarray:
+        """``free_at(origin) >= procs[i]`` for every candidate."""
+        return fits_mask(procs, int(self._free[0]))
+
+    def finishes_by_mask(self, durations, deadline: float) -> np.ndarray:
+        """``origin + durations[i] <= deadline + _EPS`` for every candidate."""
+        return finishes_by_mask(float(self._times[0]), durations, deadline)
 
     # -- mutations ------------------------------------------------------------------
 

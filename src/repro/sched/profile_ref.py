@@ -137,6 +137,38 @@ class Profile:
         self.reserve(procs, start, duration)
         return start
 
+    # -- batch primitives (naive loop equivalents) ---------------------------------
+    #
+    # The optimized kernel vectorizes these; the oracle keeps the literal
+    # one-call-per-job loops so the batch-claim property suite
+    # (tests/properties/test_prop_batch_claims.py) can pin the vectorized
+    # forms to the obviously-correct sequential semantics.
+
+    def find_start_many(self, procs, durations, earliest: float) -> list[float]:
+        """One :meth:`find_start` per job against the current (fixed) profile."""
+        return [
+            self.find_start(p, d, earliest) for p, d in zip(procs, durations)
+        ]
+
+    def claim_many(self, procs, durations, earliest: float) -> list[float]:
+        """One :meth:`claim` per job, in order — the definitional semantics."""
+        return [self.claim(p, d, earliest) for p, d in zip(procs, durations)]
+
+    def min_free_many(self, durations, start: float) -> list[int]:
+        """One :meth:`min_free` per duration from a common start."""
+        for d in durations:
+            if d <= 0:
+                raise ProfileError(f"duration must be > 0, got {float(d)}")
+        return [self.min_free(start, d) for d in durations]
+
+    def fits_now_mask(self, procs) -> list[bool]:
+        free_now = self._free[0]
+        return [p <= free_now for p in procs]
+
+    def finishes_by_mask(self, durations, deadline: float) -> list[bool]:
+        origin = self._times[0]
+        return [origin + d <= deadline + _EPS for d in durations]
+
     # -- mutations ------------------------------------------------------------------
 
     def _ensure_breakpoint(self, time: float) -> int:

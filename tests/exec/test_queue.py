@@ -150,6 +150,48 @@ class TestClaim:
         assert len(bad) == 2  # both cells of the broken chain group
 
 
+class TestRenew:
+    def test_renew_extends_live_lease_past_original_deadline(self, queue):
+        queue.enqueue(make_cells())
+        claimed = drain_claim(queue, "w1", now=100.0)
+        gids = [g.group_id for g in claimed]
+        # Just before expiry, push every deadline out a full lease period.
+        assert queue.renew("w1", gids, now=100.0 + LEASE - 1) == 5
+        # The original deadline passes: nothing is stealable...
+        assert drain_claim(queue, "w2", now=100.0 + LEASE + 1) == []
+        # ...until the *renewed* deadline passes too.
+        stolen = drain_claim(queue, "w2", now=100.0 + 2 * LEASE + 1)
+        assert {g.group_id for g in stolen} == set(gids)
+
+    def test_renew_is_owner_scoped(self, queue):
+        queue.enqueue(make_cells())
+        claimed = drain_claim(queue, "w1", now=100.0)
+        gids = [g.group_id for g in claimed]
+        assert queue.renew("w2", gids, now=100.0) == 0
+        # w2's attempt changed nothing: the lease still expires on time.
+        assert len(drain_claim(queue, "w3", now=100.0 + LEASE + 1)) == 3
+
+    def test_renew_skips_stolen_groups(self, queue):
+        queue.enqueue(make_cells())
+        claimed = drain_claim(queue, "w1", now=100.0)
+        gids = [g.group_id for g in claimed]
+        steal_time = 100.0 + LEASE + 1
+        stolen = queue.claim("w2", limit_groups=1, now=steal_time)
+        assert len(stolen) == 1
+        # The late renewal touches only the groups w1 still holds — the
+        # stolen one stays with the thief, and the shortfall (< 5 cells)
+        # is the caller's signal that part of its claim moved on.
+        renewed = queue.renew("w1", gids, now=steal_time)
+        assert renewed == 5 - len(stolen[0].cells)
+        still_w2 = queue.claim("w2", limit_groups=1, now=steal_time + 1)
+        assert still_w2 == []  # the thief's lease is live, not re-stolen
+
+    def test_renew_empty_group_list_is_noop(self, queue):
+        queue.enqueue(make_cells())
+        drain_claim(queue, "w1", now=100.0)
+        assert queue.renew("w1", [], now=100.0) == 0
+
+
 class TestCompleteAndFail:
     def test_complete_persists_results_and_marks_done(self, queue, tmp_path):
         cells = make_cells()

@@ -1,0 +1,257 @@
+"""Differential tests: batch profile primitives vs their scalar loops.
+
+The batched backfill kernel (``claim_many``, ``find_start_many``,
+``min_free_many``, the fits/finishes masks, ``fitting_prefix_count``) is
+only admissible because every batch call is *exactly* the corresponding
+scalar loop: same return values, same profile state, bit for bit.  These
+properties pin that contract twice over — against a scalar loop on the
+optimized kernel itself, and against :mod:`repro.sched.profile_ref`, the
+frozen pre-optimization oracle whose batch methods ARE naive loops.
+
+The op strategies deliberately draw durations and anchors from coarse
+grids with sub-``_EPS`` and near-``_EPS`` jitter: the kernel's equality
+tolerances (the ``- _EPS`` covering test, ``_ensure_breakpoint``'s
+two-sided snap) only diverge on inputs that land within a whisker of an
+existing breakpoint, so epsilon-close edges are where batch/scalar
+equivalence would break first.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ProfileError
+from repro.sched import configure_sequential_claims, profile_ref
+from repro.sched.backfill.conservative import ConservativeScheduler
+from repro.sched.backfill.depth import DepthScheduler
+from repro.sched.backfill.easy import EasyScheduler
+from repro.sched.backfill.lookahead import LookaheadScheduler
+from repro.sched.backfill.nobf import FCFSScheduler
+from repro.sched.backfill.selective import SelectiveScheduler
+from repro.sched.backfill.slack import SlackScheduler
+from repro.sched.profile import (
+    Profile,
+    fits_mask,
+    finishes_by_mask,
+    fitting_prefix_count,
+)
+from repro.sim.engine import simulate
+from repro.workload.job import Job, Workload
+
+TOTAL = 16
+
+#: Sub-eps and just-above-eps offsets (kernel ``_EPS`` is 1e-9): claims
+#: jittered by these land on, inside, and just outside the snap tolerance
+#: of breakpoints created by earlier claims on the coarse grid.
+JITTER = (0.0, 2e-10, 9e-10, 1.1e-9, 1e-7)
+
+
+@st.composite
+def jittered_ops(draw, max_ops=20):
+    """(procs, duration, earliest) triples on a grid with eps-scale jitter."""
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    for _ in range(n):
+        procs = draw(st.integers(min_value=1, max_value=TOTAL))
+        duration = draw(st.sampled_from((0.5, 1.0, 2.0, 10.0, 50.0))) + draw(
+            st.sampled_from(JITTER)
+        )
+        earliest = draw(st.sampled_from((0.0, 1.0, 2.5, 10.0, 60.0))) + draw(
+            st.sampled_from(JITTER)
+        )
+        ops.append((procs, duration, earliest))
+    return ops
+
+
+@st.composite
+def batch_cases(draw):
+    """A profile pre-seeded by random claims, plus a batch to run on it."""
+    prefix = draw(jittered_ops(max_ops=12))
+    batch = draw(jittered_ops(max_ops=15))
+    earliest = draw(st.sampled_from((0.0, 1.0, 30.0))) + draw(
+        st.sampled_from(JITTER)
+    )
+    return prefix, batch, earliest
+
+
+def _seeded(prefix):
+    """Optimized and oracle profiles with identical claim history."""
+    fast = Profile(TOTAL)
+    oracle = profile_ref.Profile(TOTAL)
+    for procs, duration, anchor in prefix:
+        fast.claim(procs, duration, anchor)
+        oracle.claim(procs, duration, anchor)
+    return fast, oracle
+
+
+@given(batch_cases())
+@settings(max_examples=150, deadline=None)
+def test_claim_many_equals_sequential_claims_on_both_kernels(case):
+    prefix, batch, earliest = case
+    batched, oracle_batched = _seeded(prefix)
+    sequential, _ = _seeded(prefix)
+
+    procs = [p for p, _, _ in batch]
+    durations = [d for _, d, _ in batch]
+    got = batched.claim_many(procs, durations, earliest)
+    want = [sequential.claim(p, d, earliest) for p, d, _ in batch]
+    assert got == want
+    assert batched.breakpoints() == sequential.breakpoints()
+
+    oracle_got = oracle_batched.claim_many(procs, durations, earliest)
+    assert got == oracle_got
+    assert batched.breakpoints() == oracle_batched.breakpoints()
+
+
+@given(batch_cases())
+@settings(max_examples=150, deadline=None)
+def test_find_start_many_equals_scalar_find_start(case):
+    prefix, batch, earliest = case
+    fast, oracle = _seeded(prefix)
+    before = fast.breakpoints()
+
+    procs = [p for p, _, _ in batch]
+    durations = [d for _, d, _ in batch]
+    got = fast.find_start_many(procs, durations, earliest)
+    assert got == [fast.find_start(p, d, earliest) for p, d, _ in batch]
+    assert got == oracle.find_start_many(procs, durations, earliest)
+    # Pure query: the profile must be untouched.
+    assert fast.breakpoints() == before
+
+
+@given(batch_cases())
+@settings(max_examples=100, deadline=None)
+def test_min_free_many_equals_scalar_min_free(case):
+    prefix, batch, start = case
+    fast, oracle = _seeded(prefix)
+    durations = [d for _, d, _ in batch]
+    got = fast.min_free_many(durations, start)
+    assert got == [fast.min_free(start, d) for d in durations]
+    assert got == oracle.min_free_many(durations, start)
+
+
+@given(batch_cases())
+@settings(max_examples=100, deadline=None)
+def test_masks_equal_scalar_tests(case):
+    prefix, batch, deadline = case
+    fast, oracle = _seeded(prefix)
+    procs = [p for p, _, _ in batch]
+    durations = [d for _, d, _ in batch]
+
+    now_mask = fast.fits_now_mask(procs)
+    assert now_mask.tolist() == [p <= fast.free_at(fast.origin) for p in procs]
+    assert now_mask.tolist() == oracle.fits_now_mask(procs)
+
+    fin_mask = fast.finishes_by_mask(durations, deadline)
+    eps = 1e-9
+    assert fin_mask.tolist() == [
+        fast.origin + d <= deadline + eps for d in durations
+    ]
+    assert fin_mask.tolist() == oracle.finishes_by_mask(durations, deadline)
+
+    free = fast.free_at(fast.origin)
+    assert fits_mask(procs, free).tolist() == [p <= free for p in procs]
+    assert finishes_by_mask(fast.origin, durations, deadline).tolist() == [
+        fast.origin + d <= deadline + eps for d in durations
+    ]
+
+
+@given(st.lists(st.integers(min_value=1, max_value=TOTAL), max_size=20),
+       st.integers(min_value=0, max_value=2 * TOTAL))
+@settings(max_examples=100, deadline=None)
+def test_fitting_prefix_count_equals_greedy_loop(demands, available):
+    count = 0
+    free = available
+    for p in demands:
+        if p > free:
+            break
+        free -= p
+        count += 1
+    assert fitting_prefix_count(demands, available) == count
+
+
+@st.composite
+def workloads(draw, max_jobs=25):
+    """Small inaccurate-estimate workloads (exercise repack/backfill paths)."""
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    clock = 0.0
+    for i in range(n):
+        clock += draw(st.floats(min_value=0.0, max_value=60.0))
+        runtime = draw(st.floats(min_value=1.0, max_value=300.0))
+        procs = draw(st.integers(min_value=1, max_value=TOTAL))
+        estimate = runtime * draw(st.floats(min_value=1.0, max_value=8.0))
+        jobs.append(
+            Job(
+                job_id=i + 1,
+                submit_time=clock,
+                runtime=runtime,
+                estimate=estimate,
+                procs=procs,
+            )
+        )
+    return Workload(tuple(jobs), max_procs=TOTAL, name="prop-batch")
+
+
+def _force_batch_paths(scheduler):
+    """Drop the queue-depth gates so small queues hit the batch code."""
+    if isinstance(scheduler, EasyScheduler):
+        scheduler.batch_min_candidates = 1
+    if isinstance(scheduler, FCFSScheduler):
+        scheduler.batch_min_queue = 1
+    return scheduler
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_batched_schedulers_match_sequential_claim_path(wl):
+    """Every discipline: batch-kernel schedule == sequential-claim schedule.
+
+    The queue-depth gates are forced open so the mask prefilters and
+    prefix count run even on these small queues; the sequential leg is the
+    exact path ``configure_sequential_claims`` selects for benchmarking.
+    """
+    factories = [
+        FCFSScheduler,
+        EasyScheduler,
+        LookaheadScheduler,
+        ConservativeScheduler,
+        SelectiveScheduler,
+        DepthScheduler,
+        SlackScheduler,
+    ]
+    for factory in factories:
+        batched = simulate(wl, _force_batch_paths(factory()))
+        sequential = simulate(wl, configure_sequential_claims(factory()))
+        assert batched.start_times() == sequential.start_times(), (
+            f"{factory.__name__} diverged between batch and sequential claims"
+        )
+
+
+def test_claim_many_empty_batch_is_noop():
+    profile = Profile(TOTAL)
+    before = profile.breakpoints()
+    assert profile.claim_many([], [], 0.0) == []
+    assert profile.find_start_many([], [], 0.0) == []
+    assert profile.min_free_many([], 0.0) == []
+    assert profile.breakpoints() == before
+
+
+@pytest.mark.parametrize(
+    "procs, durations, message",
+    [
+        ([4, 0], [1.0, 1.0], "cannot place 0 procs"),
+        ([4, TOTAL + 1], [1.0, 1.0], f"cannot place {TOTAL + 1} procs"),
+        ([4, 4], [1.0, -2.0], "duration must be > 0"),
+    ],
+)
+def test_claim_many_validates_up_front_profile_untouched(
+    procs, durations, message
+):
+    """Invalid input anywhere in the batch fails fast, before any claim."""
+    profile = Profile(TOTAL)
+    profile.claim(8, 5.0, 0.0)
+    before = profile.breakpoints()
+    with pytest.raises(ProfileError, match=message):
+        profile.claim_many(procs, durations, 0.0)
+    assert profile.breakpoints() == before
